@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: run-length presets, CLI
+ * parsing (--quick / --full / --workloads a,b,c), and result lookup.
+ */
+
+#ifndef BANSHEE_BENCH_BENCH_UTIL_HH
+#define BANSHEE_BENCH_BENCH_UTIL_HH
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/system_config.hh"
+#include "workload/workloads.hh"
+
+namespace banshee::benchutil {
+
+struct BenchOptions
+{
+    SystemConfig base = SystemConfig::scaledDefault();
+    std::vector<std::string> workloads = WorkloadFactory::paperNames();
+    unsigned threads = 0;
+};
+
+/**
+ * Parse common flags:
+ *   --quick          quarter-length runs (CI smoke)
+ *   --full           paper-sized system (1 GB cache, long runs)
+ *   --workloads a,b  restrict the workload list
+ *   --threads N      worker threads
+ */
+inline BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            opt.base.warmupInstrPerCore /= 4;
+            opt.base.measureInstrPerCore /= 4;
+        } else if (arg == "--full") {
+            opt.base = SystemConfig::paperDefault();
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            opt.workloads.clear();
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opt.workloads.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--full] "
+                         "[--workloads a,b,c] [--threads N]\n",
+                         argv[0]);
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+/** Index results of a sweep by (workload, scheme-label suffix). */
+class ResultIndex
+{
+  public:
+    ResultIndex(const std::vector<Experiment> &exps,
+                const std::vector<RunResult> &results)
+    {
+        for (std::size_t i = 0; i < exps.size(); ++i)
+            byLabel_[exps[i].label] = &results[i];
+    }
+
+    const RunResult &
+    at(const std::string &workload, const std::string &scheme) const
+    {
+        return *byLabel_.at(workload + "/" + scheme);
+    }
+
+    bool
+    has(const std::string &workload, const std::string &scheme) const
+    {
+        return byLabel_.count(workload + "/" + scheme) > 0;
+    }
+
+  private:
+    std::map<std::string, const RunResult *> byLabel_;
+};
+
+/** The scheme labels used across Figures 4-6, in the paper's order. */
+inline std::vector<std::string>
+figureSchemes()
+{
+    return {"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee",
+            "CacheOnly"};
+}
+
+} // namespace banshee::benchutil
+
+#endif // BANSHEE_BENCH_BENCH_UTIL_HH

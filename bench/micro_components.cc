@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot data
+ * structures: Tag Buffer, FBR directory, alias-table sampling, SRAM
+ * cache lookups, DRAM channel scheduling and workload generation.
+ * These guard the simulator's own performance (simulation speed), not
+ * the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/alias_table.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "core/fbr_directory.hh"
+#include "core/tag_buffer.hh"
+#include "dram/dram_model.hh"
+#include "workload/pattern.hh"
+
+using namespace banshee;
+
+static void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+static void
+BM_AliasTableSample(benchmark::State &state)
+{
+    AliasTable table(zipfWeights(1 << 16, 0.9));
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.sample(rng));
+}
+BENCHMARK(BM_AliasTableSample);
+
+static void
+BM_TagBufferLookup(benchmark::State &state)
+{
+    TagBuffer tb(TagBufferParams{}, "bm");
+    Rng rng(3);
+    for (std::uint32_t i = 0; i < 512; ++i)
+        tb.insertClean(i * 97, PageMapping{true, 1});
+    PageNum p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tb.lookup(p * 97));
+        p = (p + 1) & 1023;
+    }
+}
+BENCHMARK(BM_TagBufferLookup);
+
+static void
+BM_TagBufferRemapHarvest(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TagBuffer tb(TagBufferParams{}, "bm");
+        for (std::uint32_t i = 0; i < 700; ++i)
+            tb.insertRemap(i * 31, PageMapping{true, 0});
+        benchmark::DoNotOptimize(tb.harvest());
+    }
+}
+BENCHMARK(BM_TagBufferRemapHarvest);
+
+static void
+BM_FbrDirectoryAccess(benchmark::State &state)
+{
+    FbrParams p;
+    p.numSets = 2048;
+    FbrDirectory dir(p);
+    std::uint32_t set = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir.findCached(set, set * 5));
+        benchmark::DoNotOptimize(dir.minCountWay(set));
+        set = (set + 1) & 2047;
+    }
+}
+BENCHMARK(BM_FbrDirectoryAccess);
+
+static void
+BM_SramCacheLookup(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 8ull << 20;
+    p.ways = 16;
+    Cache cache(p);
+    Rng rng(4);
+    for (int i = 0; i < 100000; ++i)
+        cache.insert(rng.nextBelow(1 << 20), false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.lookup(rng.nextBelow(1 << 20), false));
+}
+BENCHMARK(BM_SramCacheLookup);
+
+static void
+BM_DramChannelThroughput(benchmark::State &state)
+{
+    // Measures simulated-requests-per-second of the DRAM model.
+    for (auto _ : state) {
+        EventQueue eq;
+        DramModel dram(eq, DramTiming{}, 1, "bm");
+        Rng rng(5);
+        for (int i = 0; i < 1000; ++i) {
+            DramRequest req;
+            req.addr = rng.nextBelow(1 << 28) & ~63ull;
+            req.bytes = 64;
+            dram.access(0, std::move(req));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(eq.now());
+    }
+}
+BENCHMARK(BM_DramChannelThroughput);
+
+static void
+BM_ZipfPatternNext(benchmark::State &state)
+{
+    ZipfPagePattern pattern(0, 1 << 18, 0.85, 2, 0.1, 3);
+    Rng rng(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pattern.next(rng).addr);
+}
+BENCHMARK(BM_ZipfPatternNext);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [&sum, i] { sum += i; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: build a 16-core system with a Banshee DRAM cache, run
+ * the pagerank workload, and print the headline statistics — the
+ * smallest end-to-end use of the library's public API.
+ *
+ * Usage: quickstart [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "workload/workloads.hh"
+
+using namespace banshee;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "pagerank";
+    if (!WorkloadFactory::exists(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+        std::fprintf(stderr, "available:");
+        for (const auto &n : WorkloadFactory::allNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    // 1. Start from the scaled default system (Table 2 shape, 128 MB
+    //    in-package DRAM cache) and pick the Banshee scheme.
+    SystemConfig config = SystemConfig::scaledDefault();
+    config.workload = workload;
+    config.withScheme(SchemeKind::Banshee);
+
+    // 2. Build and run (warmup + measured phase).
+    System system(config);
+    RunResult r = system.run();
+
+    // 3. Inspect the results.
+    std::printf("workload            : %s\n", r.workload.c_str());
+    std::printf("scheme              : %s\n", r.scheme.c_str());
+    std::printf("instructions        : %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("cycles              : %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("IPC                 : %.3f\n", r.ipc);
+    std::printf("DRAM cache accesses : %llu\n",
+                static_cast<unsigned long long>(r.dramCacheAccesses));
+    std::printf("DRAM cache miss rate: %.1f%%\n", 100.0 * r.missRate);
+    std::printf("MPKI                : %.2f\n", r.mpki);
+    std::printf("in-pkg  traffic     : %.2f bytes/instr "
+                "(hit %.2f, tag+ctr %.2f, repl %.2f)\n",
+                r.inPkgTotalBpi(), r.inPkgBpi(TrafficCat::HitData),
+                r.inPkgBpi(TrafficCat::Tag) +
+                    r.inPkgBpi(TrafficCat::Counter),
+                r.inPkgBpi(TrafficCat::Replacement));
+    std::printf("off-pkg traffic     : %.2f bytes/instr\n",
+                r.offPkgTotalBpi());
+    std::printf("bus utilization     : in %.1f%%  off %.1f%%\n",
+                100.0 * r.inPkgBusUtil, 100.0 * r.offPkgBusUtil);
+    std::printf("PTE update runs     : %llu\n",
+                static_cast<unsigned long long>(r.pteUpdateRuns));
+    return 0;
+}

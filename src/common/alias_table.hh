@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Walker alias method for O(1) sampling from a discrete distribution.
+ *
+ * Used by the workload generators to draw pages from Zipf-like
+ * popularity distributions without a per-draw binary search.
+ */
+
+#ifndef BANSHEE_COMMON_ALIAS_TABLE_HH
+#define BANSHEE_COMMON_ALIAS_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace banshee {
+
+/**
+ * Immutable alias table built from a vector of non-negative weights.
+ * sample() returns an index in [0, size()) with probability
+ * proportional to its weight.
+ */
+class AliasTable
+{
+  public:
+    AliasTable() = default;
+
+    /** Build from weights; zero-weight entries are never returned. */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Number of outcomes (0 if default-constructed). */
+    std::size_t size() const { return prob_.size(); }
+
+    bool empty() const { return prob_.empty(); }
+
+    /** Draw one index. Table must be non-empty. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const std::size_t i = rng.nextBelow(prob_.size());
+        return rng.nextDouble() < prob_[i] ? i : alias_[i];
+    }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+/**
+ * Zipf(alpha) weights over n items: weight(i) = 1 / (i + 1)^alpha.
+ * alpha = 0 gives a uniform distribution.
+ */
+std::vector<double> zipfWeights(std::size_t n, double alpha);
+
+} // namespace banshee
+
+#endif // BANSHEE_COMMON_ALIAS_TABLE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A deterministic global event queue.
+ *
+ * Events scheduled for the same cycle execute in schedule order
+ * (FIFO tie-break via a sequence number), so simulations are exactly
+ * reproducible regardless of heap internals.
+ */
+
+#ifndef BANSHEE_COMMON_EVENT_QUEUE_HH
+#define BANSHEE_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace banshee {
+
+/** Callable executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priority queue of (cycle, seq, fn). The simulator main loop pops
+ * events until the queue drains or a stop condition is raised.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (cycle of the last event executed). */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute cycle @p when. Scheduling in the past
+     * is a simulator bug.
+     */
+    void
+    schedule(Cycle when, EventFn fn)
+    {
+        sim_assert(when >= now_,
+                   "scheduling into the past (%llu < %llu)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(now_));
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta cycles from now. */
+    void
+    scheduleAfter(Cycle delta, EventFn fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the next pending event, or kNoCycle when empty. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kNoCycle : heap_.top().when;
+    }
+
+    /**
+     * Execute events until the queue is empty or @p limit cycles have
+     * been simulated. Returns the number of events executed.
+     */
+    std::uint64_t
+    run(Cycle limit = kNoCycle)
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty() && !stopRequested_) {
+            const Event &top = heap_.top();
+            if (top.when > limit)
+                break;
+            now_ = top.when;
+            // Move the callable out before popping (pop invalidates).
+            EventFn fn = std::move(const_cast<Event &>(top).fn);
+            heap_.pop();
+            fn();
+            ++executed;
+        }
+        stopRequested_ = false;
+        return executed;
+    }
+
+    /** Ask run() to return after the current event completes. */
+    void requestStop() { stopRequested_ = true; }
+
+    /** Reset time and drop all pending events (for tests). */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        seq_ = 0;
+        stopRequested_ = false;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,58 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace banshee {
+
+int logVerbosity = 1;
+
+namespace detail {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+logMessage(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+logAndAbort(const char *kind, const std::string &msg, const char *file,
+            int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+simAssertFail(const char *cond, const char *file, int line,
+              const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] assertion failed: %s %s (%s:%d)\n", cond,
+                 msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace banshee

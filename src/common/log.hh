@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            this library); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef BANSHEE_COMMON_LOG_HH
+#define BANSHEE_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace banshee {
+
+namespace detail {
+
+[[noreturn]] void logAndAbort(const char *kind, const std::string &msg,
+                              const char *file, int line);
+[[noreturn]] void simAssertFail(const char *cond, const char *file, int line,
+                                const std::string &msg);
+void logMessage(const char *kind, const std::string &msg);
+
+/** Minimal printf-style formatter returning std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+extern int logVerbosity;
+
+} // namespace banshee
+
+#define panic(...)                                                          \
+    ::banshee::detail::logAndAbort(                                         \
+        "panic", ::banshee::detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+#define fatal(...)                                                          \
+    do {                                                                    \
+        ::banshee::detail::logMessage(                                      \
+            "fatal", ::banshee::detail::format(__VA_ARGS__));               \
+        std::exit(1);                                                       \
+    } while (0)
+
+#define warn(...)                                                           \
+    ::banshee::detail::logMessage("warn",                                   \
+                                  ::banshee::detail::format(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    do {                                                                    \
+        if (::banshee::logVerbosity >= 1)                                   \
+            ::banshee::detail::logMessage(                                  \
+                "info", ::banshee::detail::format(__VA_ARGS__));            \
+    } while (0)
+
+/** Assert that is kept in release builds: checks simulator invariants. */
+#define sim_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::banshee::detail::simAssertFail(                               \
+                #cond, __FILE__, __LINE__,                                  \
+                ::banshee::detail::format("" __VA_ARGS__));                 \
+        }                                                                   \
+    } while (0)
+
+#endif // BANSHEE_COMMON_LOG_HH

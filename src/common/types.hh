@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fundamental scalar types and address helpers shared by every module.
+ *
+ * All simulator time is expressed in core clock cycles (2.7 GHz by
+ * default). DRAM models convert their own clock domains into core
+ * cycles at construction time.
+ */
+
+#ifndef BANSHEE_COMMON_TYPES_HH
+#define BANSHEE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace banshee {
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** A 64 B cacheline address (byte address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** A page frame number (byte address >> page bits). */
+using PageNum = std::uint64_t;
+
+/** Core / thread identifier. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cacheline geometry: 64 B lines everywhere (paper Table 2). */
+constexpr std::uint32_t kLineBits = 6;
+constexpr std::uint32_t kLineBytes = 1u << kLineBits;
+
+/** Regular page geometry: 4 KB (paper Table 2). */
+constexpr std::uint32_t kPageBits = 12;
+constexpr std::uint32_t kPageBytes = 1u << kPageBits;
+
+/** Large page geometry: 2 MB (paper Section 4.3). */
+constexpr std::uint32_t kLargePageBits = 21;
+constexpr std::uint32_t kLargePageBytes = 1u << kLargePageBits;
+
+/** Lines per regular page. */
+constexpr std::uint32_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Convert a byte address to a line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kLineBits;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+lineToAddr(LineAddr line)
+{
+    return line << kLineBits;
+}
+
+/** Convert a byte address to a 4 KB page number. */
+constexpr PageNum
+pageOf(Addr addr)
+{
+    return addr >> kPageBits;
+}
+
+/** Convert a line address to its 4 KB page number. */
+constexpr PageNum
+pageOfLine(LineAddr line)
+{
+    return line >> (kPageBits - kLineBits);
+}
+
+/** Index of a line within its 4 KB page [0, 64). */
+constexpr std::uint32_t
+lineInPage(LineAddr line)
+{
+    return static_cast<std::uint32_t>(line & (kLinesPerPage - 1));
+}
+
+/** Size literals. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr std::uint32_t
+log2i(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace banshee
+
+#endif // BANSHEE_COMMON_TYPES_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit conversions between wall-clock time and core cycles.
+ */
+
+#ifndef BANSHEE_COMMON_UNITS_HH
+#define BANSHEE_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace banshee {
+
+/** Core clock frequency in Hz (paper Table 2: 2.7 GHz). */
+constexpr double kCoreFreqHz = 2.7e9;
+
+/** Convert microseconds of wall time into core cycles. */
+constexpr Cycle
+usToCycles(double us)
+{
+    return static_cast<Cycle>(us * kCoreFreqHz / 1e6);
+}
+
+/** Convert nanoseconds of wall time into core cycles. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    return static_cast<Cycle>(ns * kCoreFreqHz / 1e9);
+}
+
+/** Convert core cycles to microseconds. */
+constexpr double
+cyclesToUs(Cycle c)
+{
+    return static_cast<double>(c) * 1e6 / kCoreFreqHz;
+}
+
+/** Bytes/cycle to GB/s at the core clock. */
+constexpr double
+bytesPerCycleToGBps(double bpc)
+{
+    return bpc * kCoreFreqHz / 1e9;
+}
+
+} // namespace banshee
+
+#endif // BANSHEE_COMMON_UNITS_HH

@@ -1,0 +1,318 @@
+#include "core/banshee.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "schemes/batman.hh"
+
+namespace banshee {
+
+namespace {
+
+FbrParams
+makeFbrParams(const SchemeContext &ctx, const BansheeConfig &config)
+{
+    FbrParams p;
+    p.ways = config.ways;
+    p.numCandidates = config.numCandidates;
+    p.counterBits = config.counterBits;
+    const std::uint64_t pageBytes = 1ull << config.pageBits;
+    const std::uint64_t frames = ctx.cacheBytesPerMc / pageBytes;
+    sim_assert(frames >= config.ways,
+               "cache partition smaller than one set");
+    p.numSets = static_cast<std::uint32_t>(frames / config.ways);
+    return p;
+}
+
+} // namespace
+
+BansheeScheme::BansheeScheme(const SchemeContext &ctx,
+                             const BansheeConfig &config)
+    : DramCacheScheme(ctx, "banshee"), config_(config),
+      dir_(makeFbrParams(ctx, config)),
+      tagBuffer_(config.tagBuffer,
+                 "tagBuffer" + std::to_string(ctx.mcId)),
+      missRate_(256, 0.25, 1.0),
+      pageBytes_(1u << config.pageBits),
+      metaBase_(ctx.cacheBytesPerMc),
+      statSampled_(stats_.counter("sampledAccesses")),
+      statInserts_(stats_.counter("pagesInserted")),
+      statEvictions_(stats_.counter("pagesEvicted")),
+      statDirtyEvictions_(stats_.counter("dirtyPagesEvicted")),
+      statReplacementsBlocked_(stats_.counter("replacementsBlocked")),
+      statTagProbes_(stats_.counter("writebackTagProbes")),
+      statCandidateTakeovers_(stats_.counter("candidateTakeovers")),
+      statCounterOverflows_(stats_.counter("counterOverflows")),
+      statStaleMappingsServed_(stats_.counter("staleMappingsServed"))
+{
+    const double lines = static_cast<double>(pageBytes_) / kLineBytes;
+    threshold_ = config.replaceThreshold >= 0.0
+                     ? config.replaceThreshold
+                     : lines * config.samplingCoeff / 2.0;
+    coeffOverTwo_ = threshold_;
+
+    if (ctx_.os) {
+        ctx_.os->registerTagBufferHarvester(
+            [this] { return tagBuffer_.harvest(); });
+        ctx_.os->registerReplacementLock(
+            [this](bool locked) { setReplacementsLocked(locked); });
+    }
+}
+
+double
+BansheeScheme::currentSampleRate() const
+{
+    switch (config_.policy) {
+      case BansheeConfig::Policy::Fbr:
+        return std::min(1.0, missRate_.value() * config_.samplingCoeff);
+      case BansheeConfig::Policy::FbrNoSample:
+        return 1.0;
+      case BansheeConfig::Policy::LruEveryMiss:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+PageMapping
+BansheeScheme::resolveMapping(PageNum page, const MappingInfo &carried,
+                              bool insertCleanOnMiss)
+{
+    if (auto tb = tagBuffer_.lookup(page))
+        return *tb;
+
+    // Tag Buffer miss: the lazy-coherence invariant guarantees the
+    // PTEs are up to date for this page.
+    const PageMapping fresh = ctx_.pageTable->currentMapping(page);
+    if (config_.checkStaleInvariant) {
+        sim_assert(!ctx_.pageTable->isStale(page),
+                   "stale PTE without a tag-buffer entry (page %llx)",
+                   static_cast<unsigned long long>(page));
+        if (carried.valid &&
+            (carried.cached != fresh.cached ||
+             (fresh.cached && carried.way != fresh.way))) {
+            // A request carried stale bits yet the buffer missed:
+            // the design's safety argument would be broken.
+            panic("request carried stale mapping that the tag buffer "
+                  "did not correct (page %llx)",
+                  static_cast<unsigned long long>(page));
+        }
+    }
+    if (carried.valid && ctx_.pageTable->isStale(page))
+        ++statStaleMappingsServed_;
+
+    if (insertCleanOnMiss)
+        tagBuffer_.insertClean(page, fresh);
+    return fresh;
+}
+
+void
+BansheeScheme::chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat)
+{
+    inPkgAccess(metaAddr(setIdx), 32, 0, false, cat, nullptr);
+    inPkgAccess(metaAddr(setIdx), 32, 0, true, cat, nullptr);
+}
+
+void
+BansheeScheme::demandFetch(LineAddr line, const MappingInfo &mapping,
+                           CoreId core, MissDoneFn done)
+{
+    (void)core;
+    const PageNum page = pageOfLine64(line);
+    const std::uint32_t setIdx = setOf(page);
+    const PageMapping m = resolveMapping(page, mapping, true);
+
+    recordAccess(m.cached);
+    missRate_.record(!m.cached);
+
+    if (config_.policy == BansheeConfig::Policy::LruEveryMiss)
+        lruTouchAndReplace(page, setIdx, m.cached, m.way);
+    else
+        fbrSampleAndReplace(page, setIdx, m.cached, m.way);
+
+    if (m.cached) {
+        const Addr dev = frameAddr(setIdx, m.way) +
+                         (lineToAddr(line) & (pageBytes_ - 1));
+        inPkgAccess(dev, kLineBytes, 0, false, TrafficCat::HitData,
+                    std::move(done));
+    } else {
+        offPkgRead64(line, TrafficCat::Demand, std::move(done));
+    }
+}
+
+void
+BansheeScheme::demandWriteback(LineAddr line)
+{
+    const PageNum page = pageOfLine64(line);
+    const std::uint32_t setIdx = setOf(page);
+
+    PageMapping m;
+    if (auto tb = tagBuffer_.lookup(page)) {
+        m = *tb;
+    } else {
+        // No mapping anywhere on the eviction path: probe the tags in
+        // the DRAM cache (32 B read) and stash a clean copy so the
+        // next eviction of this page avoids the probe (Section 3.3).
+        ++statTagProbes_;
+        inPkgAccess(metaAddr(setIdx), 32, 32, false, TrafficCat::Tag,
+                    nullptr);
+        m = ctx_.pageTable->currentMapping(page);
+        tagBuffer_.insertClean(page, m);
+    }
+
+    if (m.cached) {
+        const Addr dev = frameAddr(setIdx, m.way) +
+                         (lineToAddr(line) & (pageBytes_ - 1));
+        inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr);
+        dir_.cached(setIdx, m.way).dirty = true;
+    } else {
+        offPkgWrite64(line, TrafficCat::Writeback);
+    }
+}
+
+void
+BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
+                                   bool hit, std::uint8_t hitWay)
+{
+    // BATMAN bandwidth balancing: bypassed pages are not tracked or
+    // cached (already-cached ones keep hitting and age out).
+    if (!hit && ctx_.batman && ctx_.batman->shouldBypass(page))
+        return;
+    if (!rng_.nextBool(currentSampleRate()))
+        return;
+
+    ++statSampled_;
+    chargeMetadataRw(setIdx, TrafficCat::Counter);
+
+    if (hit) {
+        // Algorithm 1 lines 5-6: increment; halve all on saturation.
+        if (dir_.incrementCached(setIdx, hitWay)) {
+            ++statCounterOverflows_;
+            dir_.halveAll(setIdx);
+        }
+        return;
+    }
+
+    if (auto slot = dir_.findCandidate(setIdx, page)) {
+        const bool saturated = dir_.incrementCandidate(setIdx, *slot);
+        const std::uint32_t victimWay = dir_.minCountWay(setIdx);
+        const double victimCount = dir_.wayCount(setIdx, victimWay);
+        const double candCount = dir_.candidate(setIdx, *slot).count;
+        // Algorithm 1 line 7: replace only when the candidate leads
+        // the coldest cached page by the bandwidth-aware threshold.
+        if (candCount > victimCount + threshold_)
+            executeReplacement(page, setIdx, victimWay);
+        if (saturated) {
+            ++statCounterOverflows_;
+            dir_.halveAll(setIdx);
+        }
+        return;
+    }
+
+    // Algorithm 1 lines 17-23: takeover of a random candidate slot
+    // with probability 1/victim.count.
+    const std::uint32_t slot = static_cast<std::uint32_t>(
+        rng_.nextBelow(dir_.numCandidates()));
+    FbrDirectory::CandidateEntry &victim = dir_.candidate(setIdx, slot);
+    if (!victim.valid || victim.count == 0 ||
+        rng_.nextDouble() < 1.0 / victim.count) {
+        victim.tag = page;
+        victim.count = 1;
+        victim.valid = true;
+        ++statCandidateTakeovers_;
+    }
+}
+
+void
+BansheeScheme::lruTouchAndReplace(PageNum page, std::uint32_t setIdx,
+                                  bool hit, std::uint8_t hitWay)
+{
+    // LRU bits live in the same tag rows: every access reads and
+    // updates them — the bandwidth cost Unison pays (Table 1).
+    chargeMetadataRw(setIdx, TrafficCat::Counter);
+
+    if (hit) {
+        dir_.cached(setIdx, hitWay).lruStamp = lruStampCounter_++;
+        return;
+    }
+
+    // Replace on every miss: victim is the LRU way.
+    std::uint32_t victimWay = 0;
+    std::uint64_t best = ~0ull;
+    for (std::uint32_t w = 0; w < dir_.ways(); ++w) {
+        const auto &e = dir_.cached(setIdx, w);
+        if (!e.valid) {
+            victimWay = w;
+            best = 0;
+            break;
+        }
+        if (e.lruStamp < best) {
+            best = e.lruStamp;
+            victimWay = w;
+        }
+    }
+
+    // The incoming page must be a candidate slot for promote();
+    // fabricate one (slot 0) — the LRU ablation does not track
+    // candidate frequency.
+    FbrDirectory::CandidateEntry &slot0 = dir_.candidate(setIdx, 0);
+    slot0.tag = page;
+    slot0.count = 1;
+    slot0.valid = true;
+    executeReplacement(page, setIdx, victimWay);
+    dir_.cached(setIdx, victimWay).lruStamp = lruStampCounter_++;
+}
+
+void
+BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
+                                  std::uint32_t way)
+{
+    const FbrDirectory::CachedEntry &pre = dir_.cached(setIdx, way);
+    if (replacementsLocked_ || !tagBuffer_.canAcceptRemaps(2) ||
+        !tagBuffer_.canInsertRemapPair(page, pre.valid, pre.tag)) {
+        ++statReplacementsBlocked_;
+        if (!replacementsLocked_ && ctx_.os)
+            ctx_.os->requestPteUpdate();
+        return;
+    }
+
+    const auto slot = dir_.findCandidate(setIdx, page);
+    sim_assert(slot.has_value(), "replacement without candidate entry");
+
+    // Data movement: fetch the page from off-package DRAM and write
+    // it into the frame; a dirty victim makes the round trip back.
+    offPkgBulk(pageAddr(page), pageBytes_, false, TrafficCat::Fill);
+    inPkgBulk(frameAddr(setIdx, way), pageBytes_, true,
+              TrafficCat::Replacement);
+
+    const FbrDirectory::CachedEntry victim = dir_.promote(setIdx, way,
+                                                          *slot);
+    ++statInserts_;
+    if (victim.valid) {
+        ++statEvictions_;
+        if (victim.dirty) {
+            ++statDirtyEvictions_;
+            inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
+                      TrafficCat::Replacement);
+            offPkgBulk(pageAddr(victim.tag), pageBytes_, true,
+                       TrafficCat::Writeback);
+        }
+    }
+
+    // Hardware mapping updates take effect instantly; PTEs learn of
+    // them lazily via the tag buffer.
+    ctx_.pageTable->setCurrentMapping(
+        page, PageMapping{true, static_cast<std::uint8_t>(way)});
+    bool ok = tagBuffer_.insertRemap(
+        page, PageMapping{true, static_cast<std::uint8_t>(way)});
+    sim_assert(ok, "tag buffer rejected remap after capacity check");
+    if (victim.valid) {
+        ctx_.pageTable->setCurrentMapping(victim.tag, PageMapping{});
+        ok = tagBuffer_.insertRemap(victim.tag, PageMapping{});
+        sim_assert(ok, "tag buffer rejected victim remap");
+    }
+
+    if (tagBuffer_.needsFlush() && ctx_.os)
+        ctx_.os->requestPteUpdate();
+}
+
+} // namespace banshee

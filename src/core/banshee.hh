@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The Banshee DRAM cache scheme (paper Sections 3 and 4).
+ *
+ * Demand path: the request's PTE/TLB mapping bits are overridden by a
+ * Tag Buffer hit; a hit moves exactly 64 B from in-package DRAM, a
+ * miss moves exactly 64 B from off-package DRAM — no tag probe, no
+ * speculative load (Table 1's "Traffic 64B / 0B" row).
+ *
+ * Replacement: frequency-based with sampled counter maintenance
+ * (Algorithm 1). An access is sampled with probability
+ * recent_miss_rate x sampling_coefficient; only then is the 32 B set
+ * metadata read and written. A candidate replaces the coldest cached
+ * way only when its counter leads by `threshold =
+ * lines_per_page x coefficient / 2`, which bounds replacement churn.
+ * Both the incoming and outgoing page enter the Tag Buffer as
+ * remapped entries; when the buffer passes its fill threshold the OS
+ * routine batch-commits PTEs and shoots down TLBs (lazy coherence).
+ *
+ * Ablations used by Figure 7 are selectable: LruEveryMiss (Unison-
+ * style management without footprints) and FbrNoSample (CHOP-style
+ * per-access counters).
+ *
+ * Large (2 MB) pages (Section 4.3) reuse the same machinery with
+ * pageBits = 21, a smaller sampling coefficient and a proportionally
+ * larger threshold.
+ */
+
+#ifndef BANSHEE_CORE_BANSHEE_HH
+#define BANSHEE_CORE_BANSHEE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "core/fbr_directory.hh"
+#include "core/tag_buffer.hh"
+#include "mem/scheme.hh"
+
+namespace banshee {
+
+struct BansheeConfig
+{
+    enum class Policy : std::uint8_t
+    {
+        Fbr,          ///< the real design: sampled FBR
+        FbrNoSample,  ///< ablation: counters on every access
+        LruEveryMiss  ///< ablation: LRU + replace on every miss
+    };
+
+    std::uint32_t ways = 4;
+    std::uint32_t numCandidates = 5;
+    std::uint32_t counterBits = 5;
+    double samplingCoeff = 0.1;
+    /** < 0 selects the paper's default lines*coeff/2. */
+    double replaceThreshold = -1.0;
+    std::uint32_t pageBits = kPageBits; ///< 12 = 4 KB, 21 = 2 MB
+    TagBufferParams tagBuffer;
+    Policy policy = Policy::Fbr;
+    /** Verify the lazy-coherence invariant on every access (tests). */
+    bool checkStaleInvariant = false;
+};
+
+class BansheeScheme : public DramCacheScheme
+{
+  public:
+    BansheeScheme(const SchemeContext &ctx, const BansheeConfig &config);
+
+    void demandFetch(LineAddr line, const MappingInfo &mapping, CoreId core,
+                     MissDoneFn done) override;
+    void demandWriteback(LineAddr line) override;
+
+    /** Effective replacement threshold (counter lead required). */
+    double threshold() const { return threshold_; }
+
+    /** Current adaptive sampling rate = miss-rate EWMA x coefficient. */
+    double currentSampleRate() const;
+
+    TagBuffer &tagBuffer() { return tagBuffer_; }
+    FbrDirectory &directory() { return dir_; }
+
+    bool replacementsLocked() const { return replacementsLocked_; }
+
+    /** Freeze/unfreeze replacements (driven by the OS routine). */
+    void setReplacementsLocked(bool locked) { replacementsLocked_ = locked; }
+
+    std::uint64_t pagesInserted() const { return statInserts_.value(); }
+
+  private:
+    /** Scheme-granularity page number of a 64 B line. */
+    PageNum
+    pageOfLine64(LineAddr line) const
+    {
+        return lineToAddr(line) >> config_.pageBits;
+    }
+
+    /**
+     * Set index. The page number is mixed with a Fibonacci hash
+     * before taking the modulus: this models the effectively random
+     * virtual-to-physical frame placement a real OS produces.
+     * Without it, identity-mapped private heaps (which start at large
+     * power-of-two boundaries) would alias every core onto the same
+     * few sets — an artifact no real system exhibits.
+     */
+    std::uint32_t
+    setOf(PageNum page) const
+    {
+        const std::uint64_t h =
+            (page / ctx_.numMcs) * 0x9e3779b97f4a7c15ull;
+        return static_cast<std::uint32_t>((h >> 32) % dir_.numSets());
+    }
+
+    /** Device address of a page frame (set, way) on this channel. */
+    Addr
+    frameAddr(std::uint32_t setIdx, std::uint32_t way) const
+    {
+        return (static_cast<Addr>(setIdx) * config_.ways + way)
+               << config_.pageBits;
+    }
+
+    /** Device address of a set's 32 B metadata in the tag rows. */
+    Addr
+    metaAddr(std::uint32_t setIdx) const
+    {
+        return metaBase_ + static_cast<Addr>(setIdx) * 32;
+    }
+
+    /** Off-package byte address of a page. */
+    Addr
+    pageAddr(PageNum page) const
+    {
+        return static_cast<Addr>(page) << config_.pageBits;
+    }
+
+    /**
+     * Resolve the authoritative mapping: Tag Buffer first, then the
+     * page table (whose committed view is guaranteed fresh when the
+     * Tag Buffer misses). Optionally checks the invariant that a
+     * request carrying stale bits implies a Tag Buffer hit.
+     */
+    PageMapping resolveMapping(PageNum page, const MappingInfo &carried,
+                               bool insertCleanOnMiss);
+
+    /** Algorithm 1: sampling, counter maintenance, replacement. */
+    void fbrSampleAndReplace(PageNum page, std::uint32_t setIdx, bool hit,
+                             std::uint8_t hitWay);
+
+    /** LRU ablation: touch on access, replace on every miss. */
+    void lruTouchAndReplace(PageNum page, std::uint32_t setIdx, bool hit,
+                            std::uint8_t hitWay);
+
+    /** Move @p page into (set, way); handles victim + tag buffer. */
+    void executeReplacement(PageNum page, std::uint32_t setIdx,
+                            std::uint32_t way);
+
+    /** Charge a 32 B metadata read + write pair. */
+    void chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat);
+
+    BansheeConfig config_;
+    FbrDirectory dir_;
+    TagBuffer tagBuffer_;
+    double threshold_;
+    double coeffOverTwo_; ///< cached candidate-overtake constant
+    EwmaRatio missRate_;
+    bool replacementsLocked_ = false;
+    std::uint64_t lruStampCounter_ = 1;
+    std::uint32_t pageBytes_;
+    Addr metaBase_;
+
+    Counter &statSampled_;
+    Counter &statInserts_;
+    Counter &statEvictions_;
+    Counter &statDirtyEvictions_;
+    Counter &statReplacementsBlocked_;
+    Counter &statTagProbes_;
+    Counter &statCandidateTakeovers_;
+    Counter &statCounterOverflows_;
+    Counter &statStaleMappingsServed_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_CORE_BANSHEE_HH

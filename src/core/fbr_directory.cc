@@ -1,0 +1,119 @@
+#include "core/fbr_directory.hh"
+
+namespace banshee {
+
+FbrDirectory::FbrDirectory(const FbrParams &params) : params_(params)
+{
+    sim_assert(params.ways > 0 && params.numSets > 0, "bad FBR geometry");
+    sim_assert(params.counterBits >= 2 && params.counterBits <= 16,
+               "counter bits out of range");
+    cached_.assign(
+        static_cast<std::uint64_t>(params.numSets) * params.ways,
+        CachedEntry{});
+    cands_.assign(
+        static_cast<std::uint64_t>(params.numSets) * params.numCandidates,
+        CandidateEntry{});
+}
+
+std::optional<std::uint32_t>
+FbrDirectory::findCached(std::uint32_t setIdx, PageNum page)
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        const CachedEntry &e = cached(setIdx, w);
+        if (e.valid && e.tag == page)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint32_t>
+FbrDirectory::findCandidate(std::uint32_t setIdx, PageNum page)
+{
+    for (std::uint32_t s = 0; s < params_.numCandidates; ++s) {
+        const CandidateEntry &e = candidate(setIdx, s);
+        if (e.valid && e.tag == page)
+            return s;
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+FbrDirectory::minCountWay(std::uint32_t setIdx)
+{
+    std::uint32_t best = 0;
+    std::uint32_t bestCount = wayCount(setIdx, 0);
+    for (std::uint32_t w = 1; w < params_.ways; ++w) {
+        const std::uint32_t c = wayCount(setIdx, w);
+        if (c < bestCount) {
+            bestCount = c;
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+FbrDirectory::halveAll(std::uint32_t setIdx)
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w)
+        cached(setIdx, w).count /= 2;
+    for (std::uint32_t s = 0; s < params_.numCandidates; ++s)
+        candidate(setIdx, s).count /= 2;
+}
+
+bool
+FbrDirectory::incrementCached(std::uint32_t setIdx, std::uint32_t way)
+{
+    CachedEntry &e = cached(setIdx, way);
+    if (e.count < maxCount())
+        ++e.count;
+    return e.count == maxCount();
+}
+
+bool
+FbrDirectory::incrementCandidate(std::uint32_t setIdx, std::uint32_t slot)
+{
+    CandidateEntry &e = candidate(setIdx, slot);
+    if (e.count < maxCount())
+        ++e.count;
+    return e.count == maxCount();
+}
+
+FbrDirectory::CachedEntry
+FbrDirectory::promote(std::uint32_t setIdx, std::uint32_t way,
+                      std::uint32_t slot)
+{
+    CachedEntry &w = cached(setIdx, way);
+    CandidateEntry &c = candidate(setIdx, slot);
+    sim_assert(c.valid, "promoting an invalid candidate");
+
+    const CachedEntry evicted = w;
+
+    w.tag = c.tag;
+    w.count = c.count;
+    w.valid = true;
+    w.dirty = false;
+    w.lruStamp = 0;
+
+    if (evicted.valid) {
+        c.tag = evicted.tag;
+        c.count = evicted.count;
+        c.valid = true;
+    } else {
+        c.valid = false;
+        c.count = 0;
+    }
+    return evicted;
+}
+
+std::uint64_t
+FbrDirectory::validCachedCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : cached_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace banshee

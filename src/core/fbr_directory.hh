@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-set frequency-based-replacement metadata (paper Fig. 3, §4.1).
+ *
+ * Each DRAM cache set keeps 32 bytes of metadata in a tag row:
+ * tags + 5-bit frequency counters + valid/dirty bits for the cached
+ * ways, and tags + counters for a few candidate pages that are not
+ * cached but are being considered. metadataBitsPerSet() verifies the
+ * paper's packing claim (4 cached + 5 candidates fit in 32 B).
+ *
+ * The directory stores the *functional* state; the DRAM traffic for
+ * reading/writing it is charged by the scheme.
+ */
+
+#ifndef BANSHEE_CORE_FBR_DIRECTORY_HH
+#define BANSHEE_CORE_FBR_DIRECTORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace banshee {
+
+struct FbrParams
+{
+    std::uint32_t numSets = 2048;
+    std::uint32_t ways = 4;
+    std::uint32_t numCandidates = 5;
+    std::uint32_t counterBits = 5;
+};
+
+/**
+ * Compute the metadata bits one set needs (paper footnote 1):
+ * a cached entry is tag + counter + valid + dirty; a candidate entry
+ * is tag + counter. With 48-bit addresses, 2^16 sets and 4 KB pages
+ * the tag is 20 bits, giving 4*27 + 5*25 = 233 bits <= 256 (32 B).
+ */
+constexpr std::uint32_t
+metadataBitsPerSet(std::uint32_t tagBits, std::uint32_t counterBits,
+                   std::uint32_t ways, std::uint32_t numCandidates)
+{
+    const std::uint32_t cached = tagBits + counterBits + 2;
+    const std::uint32_t candidate = tagBits + counterBits;
+    return ways * cached + numCandidates * candidate;
+}
+
+class FbrDirectory
+{
+  public:
+    struct CachedEntry
+    {
+        PageNum tag = 0;
+        std::uint32_t count = 0;
+        std::uint64_t lruStamp = 0; ///< for the LRU ablation only
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct CandidateEntry
+    {
+        PageNum tag = 0;
+        std::uint32_t count = 0;
+        bool valid = false;
+    };
+
+    explicit FbrDirectory(const FbrParams &params);
+
+    std::uint32_t numSets() const { return params_.numSets; }
+    std::uint32_t ways() const { return params_.ways; }
+    std::uint32_t numCandidates() const { return params_.numCandidates; }
+    std::uint32_t maxCount() const { return (1u << params_.counterBits) - 1; }
+
+    CachedEntry &
+    cached(std::uint32_t setIdx, std::uint32_t way)
+    {
+        return cached_[static_cast<std::uint64_t>(setIdx) * params_.ways +
+                       way];
+    }
+
+    CandidateEntry &
+    candidate(std::uint32_t setIdx, std::uint32_t slot)
+    {
+        return cands_[static_cast<std::uint64_t>(setIdx) *
+                          params_.numCandidates +
+                      slot];
+    }
+
+    /** Way holding @p page, if cached. */
+    std::optional<std::uint32_t> findCached(std::uint32_t setIdx,
+                                            PageNum page);
+
+    /** Candidate slot holding @p page, if tracked. */
+    std::optional<std::uint32_t> findCandidate(std::uint32_t setIdx,
+                                               PageNum page);
+
+    /**
+     * Way with the smallest counter; invalid ways count as zero so
+     * cold sets fill up first.
+     */
+    std::uint32_t minCountWay(std::uint32_t setIdx);
+
+    /** Counter value of @p way (0 if invalid). */
+    std::uint32_t
+    wayCount(std::uint32_t setIdx, std::uint32_t way)
+    {
+        const CachedEntry &e = cached(setIdx, way);
+        return e.valid ? e.count : 0;
+    }
+
+    /** Halve every counter in the set (counter saturation, Alg. 1). */
+    void halveAll(std::uint32_t setIdx);
+
+    /**
+     * Saturating increment of a cached way's counter.
+     * @return true if the counter saturated (caller then halves).
+     */
+    bool incrementCached(std::uint32_t setIdx, std::uint32_t way);
+
+    /** Saturating increment of a candidate's counter. */
+    bool incrementCandidate(std::uint32_t setIdx, std::uint32_t slot);
+
+    /**
+     * Swap a candidate into a way: the way's old occupant (tag+count)
+     * moves into the candidate slot (paper: the evicted page remains
+     * tracked so it must out-score the threshold to come back).
+     * @return the evicted entry (valid=false if the way was empty).
+     */
+    CachedEntry promote(std::uint32_t setIdx, std::uint32_t way,
+                        std::uint32_t slot);
+
+    /** Number of valid cached entries across all sets (tests). */
+    std::uint64_t validCachedCount() const;
+
+  private:
+    FbrParams params_;
+    std::vector<CachedEntry> cached_;
+    std::vector<CandidateEntry> cands_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_CORE_FBR_DIRECTORY_HH

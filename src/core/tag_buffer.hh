@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Tag Buffer (paper Section 3.3, Figure 2).
+ *
+ * A small set-associative SRAM structure in each memory controller
+ * holding the mapping of recently remapped pages (remap bit set) plus
+ * opportunistic clean copies of mappings for pages likely to produce
+ * LLC dirty evictions (remap bit clear). Clean entries are replaceable
+ * (LRU among remap==0); remapped entries may only leave through a
+ * harvest, i.e. the software PTE-update routine.
+ */
+
+#ifndef BANSHEE_CORE_TAG_BUFFER_HH
+#define BANSHEE_CORE_TAG_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "os/page_table.hh"
+
+namespace banshee {
+
+struct TagBufferParams
+{
+    std::uint32_t entries = 1024;
+    std::uint32_t ways = 8;
+    /** Fraction of remapped entries that triggers the PTE update. */
+    double flushThreshold = 0.7;
+};
+
+class TagBuffer
+{
+  public:
+    TagBuffer(const TagBufferParams &params, std::string name);
+
+    /** Mapping lookup; updates LRU state on hit. */
+    std::optional<PageMapping> lookup(PageNum page);
+
+    /**
+     * Record a remap (remap bit set). Fails (returns false) only when
+     * the set has no invalid or clean entry to displace — the caller
+     * must then refuse the replacement.
+     */
+    bool insertRemap(PageNum page, PageMapping mapping);
+
+    /**
+     * Opportunistically cache a PTE-consistent mapping (remap clear),
+     * displacing only invalid or clean entries. No effect if the set
+     * is full of remapped entries.
+     */
+    void insertClean(PageNum page, PageMapping mapping);
+
+    /** True if @p n more remap insertions are guaranteed to succeed. */
+    bool canAcceptRemaps(std::uint32_t n) const;
+
+    /**
+     * Exact per-set admission check for the two remap insertions a
+     * replacement produces (the inserted page, and the victim when
+     * one exists). A replacement must not start unless both fit.
+     */
+    bool canInsertRemapPair(PageNum a, bool hasB, PageNum b) const;
+
+    /** True once the remap population crosses the flush threshold. */
+    bool
+    needsFlush() const
+    {
+        return remapCount_ >= static_cast<std::uint32_t>(
+                                  params_.flushThreshold * params_.entries);
+    }
+
+    /**
+     * The PTE-update routine: returns all remapped pages and clears
+     * their remap bits (entries stay valid as clean mapping copies).
+     */
+    std::vector<PageNum> harvest();
+
+    std::uint32_t remapCount() const { return remapCount_; }
+    std::uint32_t capacity() const { return params_.entries; }
+
+    double
+    occupancy() const
+    {
+        return static_cast<double>(remapCount_) / params_.entries;
+    }
+
+    StatSet &stats() { return stats_; }
+
+    std::uint64_t hits() const { return statHits_.value(); }
+    std::uint64_t misses() const { return statMisses_.value(); }
+
+  private:
+    struct Entry
+    {
+        PageNum page = 0;
+        PageMapping mapping;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+        bool remap = false;
+    };
+
+    Entry *set(PageNum page);
+    const Entry *set(PageNum page) const;
+    Entry *find(PageNum page);
+
+    TagBufferParams params_;
+    std::uint32_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint32_t remapCount_ = 0;
+    std::uint64_t stampCounter_ = 1;
+
+    StatSet stats_;
+    Counter &statHits_;
+    Counter &statMisses_;
+    Counter &statRemapInserts_;
+    Counter &statCleanInserts_;
+    Counter &statHarvests_;
+    Counter &statInsertFails_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_CORE_TAG_BUFFER_HH

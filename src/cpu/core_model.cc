@@ -1,0 +1,235 @@
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace banshee {
+
+CoreModel::CoreModel(CoreId id, const CoreParams &params, EventQueue &eq,
+                     CacheHierarchy &hierarchy, Tlb &tlb,
+                     AccessPattern &pattern, std::uint64_t rngSeed)
+    : id_(id), params_(params), eq_(eq), hierarchy_(hierarchy), tlb_(tlb),
+      pattern_(pattern), rng_(rngSeed),
+      codeBase_((0xC0DEull << 40) + static_cast<std::uint64_t>(id) *
+                                        params.codeBytes * 4),
+      stats_("core" + std::to_string(id)),
+      statInstrs_(stats_.counter("instructions")),
+      statMemOps_(stats_.counter("memOps")),
+      statCyclesRobStall_(stats_.counter("robStallCycles")),
+      statCyclesDepStall_(stats_.counter("depStallCycles")),
+      statCyclesMshrStall_(stats_.counter("mshrStallCycles")),
+      statExternalStall_(stats_.counter("externalStallCycles"))
+{
+}
+
+void
+CoreModel::start()
+{
+    sim_assert(state_ == State::Idle || state_ == State::Parked,
+               "start() on a busy core");
+    state_ = State::Running;
+    scheduleRun(curCycle_);
+}
+
+void
+CoreModel::scheduleRun(Cycle at)
+{
+    if (runScheduled_)
+        return;
+    runScheduled_ = true;
+    const Cycle when = std::max(at, eq_.now());
+    eq_.schedule(when, [this] {
+        runScheduled_ = false;
+        if (state_ == State::Running)
+            run();
+    });
+}
+
+void
+CoreModel::drainWindow()
+{
+    while (!window_.empty() && window_.front().done &&
+           window_.front().doneCycle <= curCycle_) {
+        if (lastLoad_ == &window_.front()) {
+            lastLoadDone_ = window_.front().doneCycle;
+            lastLoad_ = nullptr;
+        }
+        window_.pop_front();
+    }
+}
+
+void
+CoreModel::missDone(Outstanding *entry, Cycle when)
+{
+    entry->done = true;
+    entry->doneCycle = when;
+    sim_assert(outstandingMisses_ > 0, "miss completion underflow");
+    --outstandingMisses_;
+
+    switch (state_) {
+      case State::BlockedRob:
+        if (!window_.empty() && entry == &window_.front()) {
+            state_ = State::Running;
+            statCyclesRobStall_ += when > curCycle_ ? when - curCycle_ : 0;
+            curCycle_ = std::max(curCycle_, when);
+            scheduleRun(curCycle_);
+        }
+        break;
+      case State::BlockedDep:
+        if (entry == lastLoad_) {
+            state_ = State::Running;
+            statCyclesDepStall_ += when > curCycle_ ? when - curCycle_ : 0;
+            curCycle_ = std::max(curCycle_, when);
+            scheduleRun(curCycle_);
+        }
+        break;
+      case State::BlockedMshr:
+        state_ = State::Running;
+        statCyclesMshrStall_ += when > curCycle_ ? when - curCycle_ : 0;
+        curCycle_ = std::max(curCycle_, when);
+        scheduleRun(curCycle_);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+CoreModel::postedDone(Cycle when)
+{
+    sim_assert(outstandingMisses_ > 0, "posted completion underflow");
+    --outstandingMisses_;
+    if (state_ == State::BlockedMshr) {
+        state_ = State::Running;
+        statCyclesMshrStall_ += when > curCycle_ ? when - curCycle_ : 0;
+        curCycle_ = std::max(curCycle_, when);
+        scheduleRun(curCycle_);
+    }
+}
+
+void
+CoreModel::park()
+{
+    state_ = State::Parked;
+    if (onParked_)
+        onParked_(id_);
+}
+
+void
+CoreModel::run()
+{
+    std::uint32_t budget = params_.quantumOps;
+
+    while (true) {
+        if (instrRetired_ >= instrLimit_) {
+            park();
+            return;
+        }
+        if (budget-- == 0 || curCycle_ > eq_.now() + params_.skewLimit) {
+            // Yield so the event clock (and other cores) catch up.
+            scheduleRun(curCycle_);
+            return;
+        }
+        if (pendingStall_ > 0) {
+            curCycle_ += pendingStall_;
+            pendingStall_ = 0;
+        }
+
+        if (!havePendingOp_) {
+            pendingOp_ = pattern_.next(rng_);
+            havePendingOp_ = true;
+        }
+        const MemOp &op = pendingOp_;
+
+        // Retire the non-memory gap at the issue width.
+        issueCarry_ += op.nonMemBefore + 1; // +1 for the memory op itself
+        curCycle_ += issueCarry_ / params_.issueWidth;
+        issueCarry_ %= params_.issueWidth;
+
+        drainWindow();
+
+        // Instruction fetch: one L1I probe per fetch group.
+        sinceFetch_ += op.nonMemBefore + 1;
+        if (sinceFetch_ >= params_.fetchGroup) {
+            sinceFetch_ = 0;
+            const Addr faddr = codeBase_ + codePos_;
+            codePos_ = (codePos_ + kLineBytes) % params_.codeBytes;
+            auto fres = hierarchy_.fetch(
+                id_, faddr, MappingInfo{},
+                [this](Cycle when) { postedDone(when); });
+            if (fres.pending)
+                ++outstandingMisses_;
+        }
+
+        // Reorder-window constraint: the new op must be within robSize
+        // instructions of the oldest incomplete one.
+        while (!window_.empty() &&
+               instrSeq_ - window_.front().seq >= params_.robSize) {
+            Outstanding &front = window_.front();
+            if (!front.done) {
+                state_ = State::BlockedRob;
+                return;
+            }
+            curCycle_ = std::max(curCycle_, front.doneCycle);
+            if (lastLoad_ == &front) {
+                lastLoadDone_ = front.doneCycle;
+                lastLoad_ = nullptr;
+            }
+            window_.pop_front();
+        }
+
+        // Dependence: pointer-chasing loads wait for the previous load.
+        if (op.dependsOnPrev) {
+            if (lastLoad_ && !lastLoad_->done) {
+                state_ = State::BlockedDep;
+                return;
+            }
+            const Cycle ready = lastLoad_ ? lastLoad_->doneCycle
+                                          : lastLoadDone_;
+            curCycle_ = std::max(curCycle_, ready);
+        }
+
+        // MSHR budget: block before issuing a new memory op when full.
+        if (outstandingMisses_ >= params_.mshrs) {
+            state_ = State::BlockedMshr;
+            return;
+        }
+
+        // Address translation (adds page-walk latency on a TLB miss).
+        const Tlb::LookupResult tr = tlb_.lookup(pageOf(op.addr));
+        curCycle_ += tr.latency;
+
+        ++statMemOps_;
+        if (op.isWrite) {
+            // Stores are posted: they occupy an MSHR while below-L1 but
+            // never block retirement.
+            auto res = hierarchy_.access(
+                id_, op.addr, true, tr.info,
+                [this](Cycle when) { postedDone(when); });
+            if (res.pending)
+                ++outstandingMisses_;
+        } else {
+            window_.push_back(Outstanding{instrSeq_, 0, false, true});
+            Outstanding *entry = &window_.back();
+            auto res = hierarchy_.access(
+                id_, op.addr, false, tr.info,
+                [this, entry](Cycle when) { missDone(entry, when); });
+            if (res.pending) {
+                ++outstandingMisses_;
+                lastLoad_ = entry;
+            } else {
+                entry->done = true;
+                entry->doneCycle = curCycle_ + res.latency;
+                lastLoad_ = entry;
+            }
+        }
+
+        instrRetired_ += op.nonMemBefore + 1;
+        statInstrs_ += op.nonMemBefore + 1;
+        ++instrSeq_;
+        havePendingOp_ = false;
+    }
+}
+
+} // namespace banshee

@@ -1,0 +1,257 @@
+#include "dram/dram_model.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace banshee {
+
+//
+// DramChannel
+//
+
+DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
+                         TrafficStats &traffic, StatSet &stats,
+                         std::string name)
+    : eq_(eq), timing_(timing), traffic_(traffic), name_(std::move(name)),
+      banks_(timing.numBanks),
+      statReqs_(stats.counter(name_ + ".requests")),
+      statRowHits_(stats.counter(name_ + ".rowHits")),
+      statRowConflicts_(stats.counter(name_ + ".rowConflicts")),
+      statTotalLatency_(stats.counter(name_ + ".totalLatencyCycles"))
+{
+}
+
+void
+DramChannel::push(DramRequest req)
+{
+    Pending p{std::move(req), eq_.now(), seq_++};
+    if (p.req.isWrite)
+        writeQ_.push_back(std::move(p));
+    else
+        readQ_.push_back(std::move(p));
+    armKick(eq_.now());
+}
+
+void
+DramChannel::armKick(Cycle when)
+{
+    when = std::max(when, eq_.now());
+    if (kickArmed_ && kickCycle_ <= when)
+        return;
+    kickArmed_ = true;
+    kickCycle_ = when;
+    eq_.schedule(when, [this, when] {
+        if (kickArmed_ && kickCycle_ == when) {
+            kickArmed_ = false;
+            kickCycle_ = kNoCycle;
+            kick();
+        }
+    });
+}
+
+Cycle
+DramChannel::bankReadyCycle(const Pending &p) const
+{
+    // Mirrors issue(): earliest cycle this request's data could be on
+    // the bus given only its bank's state. CAS commands pipeline: the
+    // bank accepts the next column access one burst after the
+    // previous one issued, so back-to-back row hits are bus-limited,
+    // not tCAS-limited.
+    const std::uint64_t row = p.req.addr / timing_.rowBytes;
+    const Bank &bank = banks_[row % banks_.size()];
+    const Cycle start = std::max(eq_.now(), bank.readyCycle);
+
+    if (bank.openRow == row) {
+        // Row-buffer hit: only the column access.
+        return start + timing_.toCore(timing_.scaledCAS());
+    }
+    if (bank.openRow == ~0ull) {
+        // Bank closed: activate then access.
+        return start + timing_.toCore(timing_.scaledRCD() +
+                                      timing_.scaledCAS());
+    }
+    // Conflict: precharge (respecting tRAS) + activate + access.
+    const Cycle rasDone =
+        bank.lastActStart + timing_.toCore(timing_.scaledRAS());
+    const Cycle preStart = std::max(start, rasDone);
+    return preStart + timing_.toCore(timing_.scaledRP() +
+                                     timing_.scaledRCD() +
+                                     timing_.scaledCAS());
+}
+
+bool
+DramChannel::selectNext(Pending &out)
+{
+    // Write-drain hysteresis: start draining when the write queue is
+    // high or there is nothing else to do; stop at the low watermark.
+    if (!drainingWrites_) {
+        if (writeQ_.size() >= kWriteDrainHigh ||
+            (readQ_.empty() && !writeQ_.empty())) {
+            drainingWrites_ = true;
+        }
+    } else if (writeQ_.size() <= kWriteDrainLow && !readQ_.empty()) {
+        drainingWrites_ = false;
+    }
+
+    std::deque<Pending> &q =
+        (drainingWrites_ && !writeQ_.empty()) ? writeQ_ : readQ_;
+    if (q.empty())
+        return false;
+
+    // FR-FCFS: earliest possible bus time wins; FCFS tie-break.
+    std::size_t best = 0;
+    Cycle bestReady = bankReadyCycle(q[0]);
+    const std::size_t window = std::min<std::size_t>(q.size(), 16);
+    for (std::size_t i = 1; i < window; ++i) {
+        const Cycle r = bankReadyCycle(q[i]);
+        if (r < bestReady) {
+            bestReady = r;
+            best = i;
+        }
+    }
+    out = std::move(q[best]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(best));
+    return true;
+}
+
+void
+DramChannel::issue(Pending p)
+{
+    const std::uint64_t row = p.req.addr / timing_.rowBytes;
+    Bank &bank = banks_[row % banks_.size()];
+    const Cycle start = std::max(eq_.now(), bank.readyCycle);
+
+    Cycle casTime;
+    if (bank.openRow == row) {
+        casTime = start;
+        ++statRowHits_;
+    } else if (bank.openRow == ~0ull) {
+        casTime = start + timing_.toCore(timing_.scaledRCD());
+        bank.lastActStart = start;
+        bank.openRow = row;
+    } else {
+        const Cycle rasDone =
+            bank.lastActStart + timing_.toCore(timing_.scaledRAS());
+        const Cycle preStart = std::max(start, rasDone);
+        const Cycle actStart = preStart + timing_.toCore(timing_.scaledRP());
+        casTime = actStart + timing_.toCore(timing_.scaledRCD());
+        bank.lastActStart = actStart;
+        bank.openRow = row;
+        ++statRowConflicts_;
+    }
+
+    const Cycle dataReady = casTime + timing_.toCore(timing_.scaledCAS());
+    const Cycle transfer =
+        timing_.toCore(p.req.bytes / timing_.busBytesPerCycle);
+    const Cycle busStart = std::max(busFree_, dataReady);
+    const Cycle complete = busStart + transfer;
+
+    busFree_ = complete;
+    busBusyCycles_ += transfer;
+    // CAS commands pipeline: the bank accepts the next column access
+    // one burst slot after this one issued (tCCD ~= burst length),
+    // so consecutive row hits stream at full bus bandwidth while the
+    // tCAS latency of each access is still paid by its own data.
+    bank.readyCycle = casTime + transfer;
+
+    ++statReqs_;
+    statTotalLatency_ += complete - p.arrival;
+
+    if (p.req.done) {
+        DramDoneFn done = std::move(p.req.done);
+        eq_.schedule(complete, [done = std::move(done), complete] {
+            done(complete);
+        });
+    }
+}
+
+void
+DramChannel::kick()
+{
+    // Issue requests while the bus reservation horizon allows; bank
+    // preparation of later picks overlaps earlier transfers.
+    const Cycle horizon =
+        eq_.now() + timing_.toCore(kReserveAheadDramCycles);
+    while (busFree_ <= horizon) {
+        Pending p;
+        if (!selectNext(p))
+            return;
+        issue(std::move(p));
+    }
+    if (!readQ_.empty() || !writeQ_.empty()) {
+        // Re-arm once the reserved bus time has drained.
+        armKick(busFree_ - timing_.toCore(kReserveAheadDramCycles / 2));
+    }
+}
+
+//
+// DramModel
+//
+
+DramModel::DramModel(EventQueue &eq, DramTiming timing,
+                     std::uint32_t numChannels, std::string name)
+    : eq_(eq), timing_(timing), name_(std::move(name)), stats_(name_)
+{
+    sim_assert(numChannels > 0, "DRAM device needs >= 1 channel");
+    channels_.reserve(numChannels);
+    for (std::uint32_t c = 0; c < numChannels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            eq_, timing_, traffic_, stats_,
+            "ch" + std::to_string(c)));
+    }
+}
+
+void
+DramModel::bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
+                      bool isWrite, TrafficCat cat, DramDoneFn done)
+{
+    sim_assert(bytes > 0, "empty bulk access");
+    const std::uint32_t chunk = kMaxRequestBytes / 2; // 256 B pieces
+    std::uint64_t remaining = bytes;
+    Addr cur = addr;
+    // Count-down latch: the callback fires when the last chunk lands.
+    auto outstanding = std::make_shared<std::uint32_t>(
+        static_cast<std::uint32_t>((bytes + chunk - 1) / chunk));
+    while (remaining > 0) {
+        const std::uint32_t sz =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                remaining, chunk));
+        DramRequest req;
+        req.addr = cur;
+        req.bytes = sz;
+        req.isWrite = isWrite;
+        req.cat = cat;
+        if (done) {
+            req.done = [outstanding, done](Cycle when) {
+                if (--*outstanding == 0)
+                    done(when);
+            };
+        }
+        access(channel, std::move(req));
+        cur += sz;
+        remaining -= sz;
+    }
+}
+
+double
+DramModel::busUtilization(Cycle elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    Cycle busy = 0;
+    for (const auto &ch : channels_)
+        busy += ch->busBusyCycles();
+    return static_cast<double>(busy) /
+           (static_cast<double>(elapsed) * channels_.size());
+}
+
+void
+DramModel::resetStats()
+{
+    traffic_.reset();
+    stats_.reset();
+    for (auto &ch : channels_)
+        ch->resetStats();
+}
+
+} // namespace banshee

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Event-driven DRAM device model.
+ *
+ * A DramModel owns one or more channels. Each channel has a read
+ * queue, a write queue with drain hysteresis, a set of banks with
+ * row-buffer state, and a shared DDR data bus. Scheduling is
+ * FR-FCFS: among eligible requests the scheduler picks the one whose
+ * data can be put on the bus earliest (row-buffer hits win), with
+ * arrival order as the tie-break. Bank preparation (precharge /
+ * activate) of later requests overlaps the data transfer of earlier
+ * ones, so the model pipelines across banks like real devices.
+ *
+ * Large transfers must be chopped by the caller (schemes move pages
+ * as a train of chunk requests); a single request may move at most
+ * kMaxRequestBytes so the bus is never monopolized.
+ */
+
+#ifndef BANSHEE_DRAM_DRAM_MODEL_HH
+#define BANSHEE_DRAM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+#include "dram/traffic.hh"
+
+namespace banshee {
+
+/** Completion callback: invoked with the cycle the data finished. */
+using DramDoneFn = std::function<void(Cycle)>;
+
+/** Largest single DRAM transaction (see file comment). */
+constexpr std::uint32_t kMaxRequestBytes = 512;
+
+struct DramRequest
+{
+    Addr addr = 0;              ///< device byte address (row/bank mapping)
+    std::uint32_t bytes = 64;   ///< multiple of 32, <= kMaxRequestBytes
+    std::uint32_t tagBytes = 0; ///< portion of @c bytes charged to Tag
+    bool isWrite = false;
+    TrafficCat cat = TrafficCat::Demand;
+    DramDoneFn done;            ///< may be empty (posted writes)
+};
+
+/** One DRAM channel: banks + data bus + queues + scheduler. */
+class DramChannel
+{
+  public:
+    DramChannel(EventQueue &eq, const DramTiming &timing, TrafficStats &traffic,
+                StatSet &stats, std::string name);
+
+    /** Enqueue a request; it becomes eligible immediately. */
+    void push(DramRequest req);
+
+    /** Data-bus busy cycles so far (core cycles), for utilization. */
+    Cycle busBusyCycles() const { return busBusyCycles_; }
+
+    std::size_t queuedReads() const { return readQ_.size(); }
+    std::size_t queuedWrites() const { return writeQ_.size(); }
+
+    void resetStats() { busBusyCycles_ = 0; }
+
+  private:
+    struct Pending
+    {
+        DramRequest req;
+        Cycle arrival;
+        std::uint64_t seq;
+    };
+
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        Cycle readyCycle = 0;       ///< earliest next access start
+        Cycle lastActStart = 0;     ///< for the tRAS constraint
+    };
+
+    /** Ensure a scheduler kick is pending. */
+    void armKick(Cycle when);
+
+    /** Scheduler: issue as many requests as the lookahead allows. */
+    void kick();
+
+    /**
+     * Earliest cycle the data of @p p could appear on the bus if
+     * issued now, considering only its bank (not the bus).
+     */
+    Cycle bankReadyCycle(const Pending &p) const;
+
+    /** Issue one request: update bank/bus state, schedule completion. */
+    void issue(Pending p);
+
+    /** Pick the best eligible request; returns false if none. */
+    bool selectNext(Pending &out);
+
+    EventQueue &eq_;
+    const DramTiming &timing_;
+    TrafficStats &traffic_;
+    std::string name_;
+
+    std::vector<Bank> banks_;
+    std::deque<Pending> readQ_;
+    std::deque<Pending> writeQ_;
+
+    Cycle busFree_ = 0;          ///< cycle the data bus becomes free
+    Cycle busBusyCycles_ = 0;
+    bool kickArmed_ = false;
+    Cycle kickCycle_ = kNoCycle;
+    bool drainingWrites_ = false;
+    std::uint64_t seq_ = 0;
+
+    /** Write-queue drain hysteresis. */
+    static constexpr std::size_t kWriteDrainHigh = 48;
+    static constexpr std::size_t kWriteDrainLow = 16;
+    /** Bus reservation lookahead per kick, in DRAM cycles. */
+    static constexpr std::uint64_t kReserveAheadDramCycles = 64;
+
+    Counter &statReqs_;
+    Counter &statRowHits_;
+    Counter &statRowConflicts_;
+    Counter &statTotalLatency_;
+};
+
+/**
+ * A DRAM device: N identical channels. The caller picks the channel
+ * (memory controllers own channels); helpers map pages to channels.
+ */
+class DramModel
+{
+  public:
+    DramModel(EventQueue &eq, DramTiming timing, std::uint32_t numChannels,
+              std::string name);
+
+    /** Issue a request on an explicit channel. */
+    void
+    access(std::uint32_t channel, DramRequest req)
+    {
+        sim_assert(channel < channels_.size(), "bad channel %u", channel);
+        sim_assert(req.bytes > 0 && req.bytes % 32 == 0 &&
+                       req.bytes <= kMaxRequestBytes,
+                   "bad DRAM request size %u", req.bytes);
+        sim_assert(req.tagBytes <= req.bytes, "tag split exceeds request");
+        if (req.tagBytes > 0)
+            traffic_.add(TrafficCat::Tag, req.tagBytes);
+        traffic_.add(req.cat, req.bytes - req.tagBytes);
+        channels_[channel]->push(std::move(req));
+    }
+
+    /**
+     * Move @p bytes starting at @p addr as a train of chunk requests
+     * on @p channel; @p done fires when the last chunk completes.
+     */
+    void bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
+                    bool isWrite, TrafficCat cat, DramDoneFn done);
+
+    std::uint32_t numChannels() const { return channels_.size(); }
+
+    const DramTiming &timing() const { return timing_; }
+
+    const TrafficStats &traffic() const { return traffic_; }
+
+    /** Aggregate data-bus utilization over @p elapsed core cycles. */
+    double busUtilization(Cycle elapsed) const;
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    void resetStats();
+
+    /**
+     * Unloaded access latency in core cycles (row hit), used by tests
+     * and latency-model sanity checks.
+     */
+    Cycle
+    zeroLoadLatency(std::uint32_t bytes = 64) const
+    {
+        return timing_.toCore(timing_.scaledCAS() +
+                              bytes / timing_.busBytesPerCycle);
+    }
+
+  private:
+    EventQueue &eq_;
+    DramTiming timing_;
+    std::string name_;
+    TrafficStats traffic_;
+    StatSet stats_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_DRAM_DRAM_MODEL_HH

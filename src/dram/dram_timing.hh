@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM timing parameters.
+ *
+ * Defaults follow the paper's Table 2: DDR-1333-like devices with a
+ * 128-bit bus per channel (32 B per DRAM cycle with DDR), timing
+ * 10-10-10-24 (tCAS-tRCD-tRP-tRAS) in DRAM cycles. One DRAM cycle is
+ * four core cycles (667 MHz vs 2.7 GHz), giving 21.6 GB/s per channel
+ * — the paper's 21 GB/s off-package channel and, with four channels,
+ * its 85 GB/s in-package device.
+ */
+
+#ifndef BANSHEE_DRAM_DRAM_TIMING_HH
+#define BANSHEE_DRAM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace banshee {
+
+struct DramTiming
+{
+    /** Length of one DRAM bus cycle in core cycles. */
+    std::uint32_t dramCycleCoreCycles = 4;
+
+    /** Column access latency (DRAM cycles). */
+    std::uint32_t tCAS = 10;
+    /** RAS-to-CAS delay (DRAM cycles). */
+    std::uint32_t tRCD = 10;
+    /** Row precharge (DRAM cycles). */
+    std::uint32_t tRP = 10;
+    /** Minimum row-open time (DRAM cycles). */
+    std::uint32_t tRAS = 24;
+
+    /** Bytes moved per DRAM cycle on the data bus (128-bit DDR). */
+    std::uint32_t busBytesPerCycle = 32;
+
+    /** Banks per channel. */
+    std::uint32_t numBanks = 8;
+
+    /** Row-buffer size in bytes (paper Fig. 3 assumes 8 KB rows). */
+    std::uint32_t rowBytes = 8192;
+
+    /**
+     * Multiplier applied to tCAS/tRCD/tRP/tRAS for the Figure 8
+     * latency sweep (1.0 = paper default, 0.66 / 0.5 = faster cache).
+     */
+    double latencyScale = 1.0;
+
+    std::uint32_t scaledCAS() const { return scaled(tCAS); }
+    std::uint32_t scaledRCD() const { return scaled(tRCD); }
+    std::uint32_t scaledRP() const { return scaled(tRP); }
+    std::uint32_t scaledRAS() const { return scaled(tRAS); }
+
+    /** Core cycles for @p n DRAM cycles. */
+    Cycle
+    toCore(std::uint64_t n) const
+    {
+        return n * dramCycleCoreCycles;
+    }
+
+  private:
+    std::uint32_t
+    scaled(std::uint32_t v) const
+    {
+        const double s = v * latencyScale;
+        return s < 1.0 ? 1u : static_cast<std::uint32_t>(s + 0.5);
+    }
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_DRAM_DRAM_TIMING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Traffic categories used for the paper's bandwidth breakdowns
+ * (Figures 5, 6 and 9).
+ */
+
+#ifndef BANSHEE_DRAM_TRAFFIC_HH
+#define BANSHEE_DRAM_TRAFFIC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace banshee {
+
+/**
+ * Every DRAM access is charged to one category. In-package DRAM uses
+ * HitData / MissData / Tag / Counter / Replacement (Fig. 5 folds
+ * Counter into Tag; Fig. 9 splits it out). Off-package DRAM uses
+ * Demand / Fill / Writeback (Fig. 6 reports their sum).
+ */
+enum class TrafficCat : std::uint8_t
+{
+    HitData = 0,   ///< demand data moved on a DRAM cache hit
+    MissData,      ///< speculative data read that turned out to miss
+    Tag,           ///< tag reads/updates and dirty-eviction probes
+    Counter,       ///< frequency-counter (metadata) reads/updates
+    Replacement,   ///< data moved into/out of the cache by replacement
+    Demand,        ///< off-package demand fetch
+    Fill,          ///< off-package read feeding a cache fill
+    Writeback,     ///< dirty data written back off-package
+    NumCats
+};
+
+constexpr std::size_t kNumTrafficCats =
+    static_cast<std::size_t>(TrafficCat::NumCats);
+
+inline const char *
+trafficCatName(TrafficCat c)
+{
+    static const char *names[kNumTrafficCats] = {
+        "HitData", "MissData", "Tag", "Counter",
+        "Replacement", "Demand", "Fill", "Writeback",
+    };
+    return names[static_cast<std::size_t>(c)];
+}
+
+/** Per-category byte counters for one DRAM device. */
+class TrafficStats
+{
+  public:
+    void
+    add(TrafficCat c, std::uint64_t bytes)
+    {
+        bytes_[static_cast<std::size_t>(c)] += bytes;
+    }
+
+    std::uint64_t
+    bytes(TrafficCat c) const
+    {
+        return bytes_[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t t = 0;
+        for (auto b : bytes_)
+            t += b;
+        return t;
+    }
+
+    void
+    reset()
+    {
+        bytes_.fill(0);
+    }
+
+  private:
+    std::array<std::uint64_t, kNumTrafficCats> bytes_{};
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_DRAM_TRAFFIC_HH

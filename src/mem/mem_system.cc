@@ -1,0 +1,108 @@
+#include "mem/mem_system.hh"
+
+#include "common/log.hh"
+
+namespace banshee {
+
+MemSystem::MemSystem(EventQueue &eq, const MemSystemParams &params)
+    : eq_(eq), params_(params), stats_("memSystem"),
+      statFetches_(stats_.counter("fetches")),
+      statWritebacks_(stats_.counter("writebacks")),
+      statFetchesCompleted_(stats_.counter("fetchesCompleted")),
+      statFetchLatencyTotal_(stats_.counter("fetchLatencyTotal"))
+{
+    if (params_.hasInPkg) {
+        inPkg_ = std::make_unique<DramModel>(eq_, params_.inPkgTiming,
+                                             params_.numMcs, "inPkg");
+    }
+    if (params_.hasOffPkg) {
+        offPkg_ = std::make_unique<DramModel>(
+            eq_, params_.offPkgTiming, params_.numOffPkgChannels, "offPkg");
+    }
+    sim_assert(inPkg_ || offPkg_, "memory system needs at least one DRAM");
+}
+
+void
+MemSystem::buildSchemes(const SchemeFactory &factory,
+                        PageTableManager *pageTable, OsServices *os,
+                        std::uint64_t seed)
+{
+    schemes_.clear();
+    for (std::uint32_t mc = 0; mc < params_.numMcs; ++mc) {
+        SchemeContext ctx;
+        ctx.eq = &eq_;
+        ctx.inPkg = inPkg_.get();
+        ctx.offPkg = offPkg_.get();
+        ctx.mcId = mc;
+        ctx.numMcs = params_.numMcs;
+        ctx.cacheBytesPerMc = params_.inPkgCapacity / params_.numMcs;
+        ctx.pageTable = pageTable;
+        ctx.os = os;
+        ctx.seed = seed;
+        schemes_.push_back(factory(ctx));
+    }
+}
+
+void
+MemSystem::fetchLine(LineAddr line, const MappingInfo &mapping, CoreId core,
+                     MissDoneFn done)
+{
+    ++statFetches_;
+    const Cycle issued = eq_.now();
+    schemes_[mcOf(line)]->demandFetch(
+        line, mapping, core,
+        [this, issued, done = std::move(done)](Cycle when) {
+            ++statFetchesCompleted_;
+            statFetchLatencyTotal_ += when > issued ? when - issued : 0;
+            if (done)
+                done(when);
+        });
+}
+
+void
+MemSystem::writebackLine(LineAddr line)
+{
+    ++statWritebacks_;
+    schemes_[mcOf(line)]->demandWriteback(line);
+}
+
+std::uint64_t
+MemSystem::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : schemes_)
+        n += s->accesses();
+    return n;
+}
+
+std::uint64_t
+MemSystem::totalHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : schemes_)
+        n += s->hits();
+    return n;
+}
+
+std::uint64_t
+MemSystem::totalMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : schemes_)
+        n += s->misses();
+    return n;
+}
+
+void
+MemSystem::resetStats()
+{
+    stats_.reset();
+    if (inPkg_)
+        inPkg_->resetStats();
+    if (offPkg_)
+        offPkg_->resetStats();
+    for (auto &s : schemes_)
+        s->resetStats();
+}
+
+} // namespace banshee

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Memory system: the DRAM devices plus one memory controller (and one
+ * scheme instance) per in-package channel. Physical pages are striped
+ * across controllers at page granularity (paper Section 2 assumption).
+ */
+
+#ifndef BANSHEE_MEM_MEM_SYSTEM_HH
+#define BANSHEE_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/dram_model.hh"
+#include "mem/request.hh"
+#include "mem/scheme.hh"
+
+namespace banshee {
+
+struct MemSystemParams
+{
+    std::uint32_t numMcs = 4;            ///< = in-package channels
+    std::uint32_t numOffPkgChannels = 1;
+    std::uint64_t inPkgCapacity = 128ull << 20;
+    /**
+     * Page-to-MC striping granularity in address bits. 12 (4 KB) by
+     * default; large-page mode raises it to 21 so a 2 MB page maps to
+     * a single controller (paper Section 4.3).
+     */
+    std::uint32_t mcStripeBits = kPageBits;
+    DramTiming inPkgTiming;
+    DramTiming offPkgTiming;
+    bool hasInPkg = true;   ///< false for NoCache
+    bool hasOffPkg = true;  ///< false for CacheOnly
+};
+
+class MemSystem : public MemBackend
+{
+  public:
+    MemSystem(EventQueue &eq, const MemSystemParams &params);
+
+    /** Install the scheme instances (one per MC) from a factory. */
+    void buildSchemes(const SchemeFactory &factory,
+                      PageTableManager *pageTable, OsServices *os,
+                      std::uint64_t seed);
+
+    // MemBackend interface (called by the LLC).
+    void fetchLine(LineAddr line, const MappingInfo &mapping, CoreId core,
+                   MissDoneFn done) override;
+    void writebackLine(LineAddr line) override;
+
+    std::uint32_t
+    mcOf(LineAddr line) const
+    {
+        return static_cast<std::uint32_t>(
+            (lineToAddr(line) >> params_.mcStripeBits) % params_.numMcs);
+    }
+
+    DramModel *inPkg() { return inPkg_.get(); }
+    DramModel *offPkg() { return offPkg_.get(); }
+
+    DramCacheScheme &scheme(std::uint32_t mc) { return *schemes_[mc]; }
+    std::uint32_t numMcs() const { return params_.numMcs; }
+
+    /** Sum of demand accesses / hits / misses over all MCs. */
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalHits() const;
+    std::uint64_t totalMisses() const;
+
+    /** Mean LLC-miss service latency (core cycles) this phase. */
+    double
+    avgFetchLatency() const
+    {
+        const std::uint64_t n = stats_.value("fetchesCompleted");
+        return n == 0 ? 0.0
+                      : static_cast<double>(
+                            stats_.value("fetchLatencyTotal")) /
+                            static_cast<double>(n);
+    }
+
+    void resetStats();
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    EventQueue &eq_;
+    MemSystemParams params_;
+    std::unique_ptr<DramModel> inPkg_;
+    std::unique_ptr<DramModel> offPkg_;
+    std::vector<std::unique_ptr<DramCacheScheme>> schemes_;
+
+    StatSet stats_;
+    Counter &statFetches_;
+    Counter &statWritebacks_;
+    Counter &statFetchesCompleted_;
+    Counter &statFetchLatencyTotal_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,69 @@
+#include "os/os_services.hh"
+
+#include "common/log.hh"
+
+namespace banshee {
+
+void
+OsServices::requestPteUpdate()
+{
+    if (updateInProgress_)
+        return;
+    updateInProgress_ = true;
+    ++statUpdates_;
+
+    // Lock replacements in every memory controller for the duration.
+    for (auto &lock : locks_)
+        lock(true);
+
+    // The interrupt handler runs on one randomly chosen core.
+    if (!cores_.empty()) {
+        const CoreId handler =
+            static_cast<CoreId>(rng_.nextBelow(cores_.size()));
+        cores_[handler].stall(costs_.pteUpdateRoutine);
+        eq_.scheduleAfter(costs_.pteUpdateRoutine, [this, handler] {
+            // Routine body: read all tag buffers, commit each page via
+            // the reverse map, then shoot down all TLBs.
+            for (auto &harvest : harvesters_) {
+                for (PageNum page : harvest()) {
+                    statPteWrites_ += pageTable_.commit(page);
+                    ++statPagesCommitted_;
+                }
+            }
+            shootdownAll(handler);
+            finishUpdate();
+        });
+    } else {
+        // Degenerate (test) configuration with no cores: commit now.
+        eq_.scheduleAfter(costs_.pteUpdateRoutine, [this] {
+            for (auto &harvest : harvesters_) {
+                for (PageNum page : harvest()) {
+                    statPteWrites_ += pageTable_.commit(page);
+                    ++statPagesCommitted_;
+                }
+            }
+            finishUpdate();
+        });
+    }
+}
+
+void
+OsServices::shootdownAll(CoreId initiator)
+{
+    ++statShootdowns_;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        cores_[c].stall(c == initiator ? costs_.shootdownInitiator
+                                       : costs_.shootdownSlave);
+        cores_[c].tlbFlush();
+    }
+}
+
+void
+OsServices::finishUpdate()
+{
+    for (auto &lock : locks_)
+        lock(false);
+    updateInProgress_ = false;
+}
+
+} // namespace banshee

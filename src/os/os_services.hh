@@ -1,0 +1,128 @@
+/**
+ * @file
+ * OS-side machinery of Banshee's lazy TLB coherence (paper §3.4).
+ *
+ * When a Tag Buffer passes its fill threshold, hardware raises an
+ * interrupt. A randomly chosen core runs the PTE-update routine: it
+ * reads every tag buffer (memory mapped), walks the reverse map to
+ * find all PTEs of each remapped physical page, writes the new
+ * cached/way bits, then issues one system-wide TLB shootdown and
+ * clears the remap bits. Replacements are locked while the routine
+ * runs; demand accesses proceed unhindered.
+ *
+ * Costs are charged as core stalls with the paper's Table 3 numbers:
+ * 20 us for the routine (swept in Table 5), 4 us for the shootdown
+ * initiator and 1 us for every other core.
+ */
+
+#ifndef BANSHEE_OS_OS_SERVICES_HH
+#define BANSHEE_OS_OS_SERVICES_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "os/page_table.hh"
+
+namespace banshee {
+
+struct OsCosts
+{
+    Cycle pteUpdateRoutine = usToCycles(20.0);
+    Cycle shootdownInitiator = usToCycles(4.0);
+    Cycle shootdownSlave = usToCycles(1.0);
+};
+
+class OsServices
+{
+  public:
+    /** Stall a core for N cycles / flush its TLB. */
+    struct CoreHooks
+    {
+        std::function<void(Cycle)> stall;
+        std::function<void()> tlbFlush;
+    };
+
+    /**
+     * Harvest callback registered by each Banshee MC: returns the
+     * pages whose remap bits are set and clears those bits.
+     */
+    using HarvestFn = std::function<std::vector<PageNum>()>;
+
+    /** Replacement lock/unlock hook registered by each Banshee MC. */
+    using LockFn = std::function<void(bool)>;
+
+    OsServices(EventQueue &eq, PageTableManager &pageTable,
+               OsCosts costs = OsCosts{}, std::uint64_t seed = 7)
+        : eq_(eq), pageTable_(pageTable), costs_(costs), rng_(seed),
+          stats_("os"),
+          statUpdates_(stats_.counter("pteUpdateRuns")),
+          statPagesCommitted_(stats_.counter("pagesCommitted")),
+          statPteWrites_(stats_.counter("pteWrites")),
+          statShootdowns_(stats_.counter("tlbShootdowns"))
+    {
+    }
+
+    void registerCore(CoreHooks hooks) { cores_.push_back(std::move(hooks)); }
+
+    void
+    registerTagBufferHarvester(HarvestFn fn)
+    {
+        harvesters_.push_back(std::move(fn));
+    }
+
+    void registerReplacementLock(LockFn fn) { locks_.push_back(std::move(fn)); }
+
+    /**
+     * Hardware interrupt: a tag buffer crossed its threshold. No-op if
+     * an update is already in flight.
+     */
+    void requestPteUpdate();
+
+    bool updateInProgress() const { return updateInProgress_; }
+
+    /** Stall every core (used by the HMA software remapper). */
+    void
+    stallAllCores(Cycle cycles)
+    {
+        for (auto &c : cores_)
+            c.stall(cycles);
+    }
+
+    /** System-wide shootdown with the Table 3 cost split. */
+    void shootdownAll(CoreId initiator);
+
+    const OsCosts &costs() const { return costs_; }
+    void setCosts(const OsCosts &c) { costs_ = c; }
+
+    StatSet &stats() { return stats_; }
+
+    std::uint64_t updateRuns() const { return statUpdates_.value(); }
+
+  private:
+    void finishUpdate();
+
+    EventQueue &eq_;
+    PageTableManager &pageTable_;
+    OsCosts costs_;
+    Rng rng_;
+    std::vector<CoreHooks> cores_;
+    std::vector<HarvestFn> harvesters_;
+    std::vector<LockFn> locks_;
+    bool updateInProgress_ = false;
+
+    StatSet stats_;
+    Counter &statUpdates_;
+    Counter &statPagesCommitted_;
+    Counter &statPteWrites_;
+    Counter &statShootdowns_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_OS_OS_SERVICES_HH

@@ -1,0 +1,133 @@
+#include "schemes/hma.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace banshee {
+
+HmaScheme::HmaScheme(const SchemeContext &ctx, const HmaConfig &config)
+    : DramCacheScheme(ctx, "hma"), config_(config),
+      statEpochs_(stats_.counter("epochs")),
+      statPagesMoved_(stats_.counter("pagesMoved"))
+{
+    numFrames_ = ctx.cacheBytesPerMc / kPageBytes;
+    sim_assert(numFrames_ > 0, "HMA partition too small");
+    freeFrames_.reserve(numFrames_);
+    for (std::uint64_t f = 0; f < numFrames_; ++f)
+        freeFrames_.push_back(f);
+    armEpoch();
+}
+
+void
+HmaScheme::armEpoch()
+{
+    ctx_.eq->scheduleAfter(config_.epoch, [this] {
+        runEpoch();
+        armEpoch();
+    });
+}
+
+void
+HmaScheme::demandFetch(LineAddr line, const MappingInfo &, CoreId,
+                       MissDoneFn done)
+{
+    const PageNum page = pageOfLine(line);
+    ++counts_[page];
+    auto it = resident_.find(page);
+    recordAccess(it != resident_.end());
+    if (it != resident_.end()) {
+        const Addr dev = frameAddr(it->second.frameIdx) +
+                         (lineToAddr(line) & (kPageBytes - 1));
+        inPkgAccess(dev, kLineBytes, 0, false, TrafficCat::HitData,
+                    std::move(done));
+    } else {
+        offPkgRead64(line, TrafficCat::Demand, std::move(done));
+    }
+}
+
+void
+HmaScheme::demandWriteback(LineAddr line)
+{
+    const PageNum page = pageOfLine(line);
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+        it->second.dirty = true;
+        const Addr dev = frameAddr(it->second.frameIdx) +
+                         (lineToAddr(line) & (kPageBytes - 1));
+        inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr);
+    } else {
+        offPkgWrite64(line, TrafficCat::Writeback);
+    }
+}
+
+void
+HmaScheme::runEpoch()
+{
+    ++statEpochs_;
+
+    // Rank all pages seen this epoch by access count.
+    std::vector<std::pair<std::uint32_t, PageNum>> ranked;
+    ranked.reserve(counts_.size());
+    for (const auto &kv : counts_)
+        ranked.emplace_back(kv.second, kv.first);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+
+    // The hottest numFrames_ pages form the new resident set.
+    std::unordered_map<PageNum, bool> target;
+    const std::size_t keep =
+        std::min<std::size_t>(ranked.size(), numFrames_);
+    for (std::size_t i = 0; i < keep; ++i)
+        target.emplace(ranked[i].second, true);
+
+    // Evict pages that fell out of the hot set.
+    std::uint64_t moved = 0;
+    for (auto it = resident_.begin(); it != resident_.end();) {
+        if (target.count(it->first)) {
+            ++it;
+            continue;
+        }
+        if (it->second.dirty) {
+            inPkgBulk(frameAddr(it->second.frameIdx), kPageBytes, false,
+                      TrafficCat::Replacement);
+            offPkgBulk(static_cast<Addr>(it->first) * kPageBytes,
+                       kPageBytes, true, TrafficCat::Writeback);
+        }
+        freeFrames_.push_back(it->second.frameIdx);
+        it = resident_.erase(it);
+        ++moved;
+    }
+
+    // Fill newly hot pages into free frames.
+    for (const auto &kv : target) {
+        if (resident_.count(kv.first))
+            continue;
+        sim_assert(!freeFrames_.empty(), "HMA frame accounting error");
+        const std::uint64_t frameIdx = freeFrames_.back();
+        freeFrames_.pop_back();
+        offPkgBulk(static_cast<Addr>(kv.first) * kPageBytes, kPageBytes,
+                   false, TrafficCat::Fill);
+        inPkgBulk(frameAddr(frameIdx), kPageBytes, true,
+                  TrafficCat::Replacement);
+        resident_[kv.first] = Resident{frameIdx, false};
+        ++moved;
+    }
+    statPagesMoved_ += moved;
+
+    // The OS stops every program while it migrates and rewrites PTEs.
+    if (ctx_.os) {
+        ctx_.os->stallAllCores(config_.baseCost +
+                               config_.perPageCost * moved);
+    }
+
+    if (config_.decayCounts) {
+        for (auto &kv : counts_)
+            kv.second /= 2;
+    }
+}
+
+} // namespace banshee

@@ -1,0 +1,110 @@
+#include "schemes/tdc.hh"
+
+#include "common/log.hh"
+
+namespace banshee {
+
+TdcScheme::TdcScheme(const SchemeContext &ctx)
+    : DramCacheScheme(ctx, "tdc"),
+      statReplacements_(stats_.counter("replacements")),
+      statFillLines_(stats_.counter("fillLines")),
+      statVictimDirtyLines_(stats_.counter("victimDirtyLines"))
+{
+    numFrames_ = ctx.cacheBytesPerMc / kPageBytes;
+    sim_assert(numFrames_ > 0, "TDC cache too small");
+    freeFrames_.reserve(numFrames_);
+    for (std::uint64_t f = 0; f < numFrames_; ++f)
+        freeFrames_.push_back(numFrames_ - 1 - f);
+}
+
+void
+TdcScheme::demandFetch(LineAddr line, const MappingInfo &, CoreId,
+                       MissDoneFn done)
+{
+    const PageNum page = pageOfLine(line);
+    const std::uint32_t lineIdx = lineInPage(line);
+    auto it = frameOf_.find(page);
+    recordAccess(it != frameOf_.end());
+
+    if (it != frameOf_.end()) {
+        it->second.residency.touch(lineIdx, false);
+        const Addr dev = frameAddr(it->second.frameIdx) +
+                         static_cast<Addr>(lineIdx) * kLineBytes;
+        inPkgAccess(dev, kLineBytes, 0, false, TrafficCat::HitData,
+                    std::move(done));
+        return;
+    }
+
+    // Mapping is in the TLB (idealized): the miss goes straight to
+    // off-package DRAM, no probe latency.
+    offPkgRead64(line, TrafficCat::Demand, std::move(done));
+    fill(page, lineIdx);
+}
+
+void
+TdcScheme::evictOne()
+{
+    sim_assert(!fifo_.empty(), "evict from empty TDC");
+    const PageNum victim = fifo_.front();
+    fifo_.pop_front();
+    auto it = frameOf_.find(victim);
+    sim_assert(it != frameOf_.end(), "FIFO page missing from map");
+
+    footprint_.observe(it->second.residency.readGroups());
+    const std::uint32_t dirtyLines =
+        it->second.residency.dirtyGroups() * kFootprintGroupLines;
+    if (dirtyLines > 0) {
+        statVictimDirtyLines_ += dirtyLines;
+        inPkgBulk(frameAddr(it->second.frameIdx),
+                  static_cast<std::uint64_t>(dirtyLines) * kLineBytes, false,
+                  TrafficCat::Replacement);
+        offPkgBulk(static_cast<Addr>(victim) * kPageBytes,
+                   static_cast<std::uint64_t>(dirtyLines) * kLineBytes, true,
+                   TrafficCat::Writeback);
+    }
+    freeFrames_.push_back(it->second.frameIdx);
+    frameOf_.erase(it);
+}
+
+void
+TdcScheme::fill(PageNum page, std::uint32_t lineIdx)
+{
+    ++statReplacements_;
+    if (freeFrames_.empty())
+        evictOne();
+    const std::uint64_t frameIdx = freeFrames_.back();
+    freeFrames_.pop_back();
+
+    const std::uint32_t fillLines = footprint_.predictLines();
+    statFillLines_ += fillLines;
+    offPkgBulk(static_cast<Addr>(page) * kPageBytes,
+               static_cast<std::uint64_t>(fillLines) * kLineBytes, false,
+               TrafficCat::Fill);
+    inPkgBulk(frameAddr(frameIdx),
+              static_cast<std::uint64_t>(fillLines) * kLineBytes, true,
+              TrafficCat::Replacement);
+
+    Frame frame;
+    frame.frameIdx = frameIdx;
+    frame.residency.touch(lineIdx, false);
+    frameOf_.emplace(page, frame);
+    fifo_.push_back(page);
+}
+
+void
+TdcScheme::demandWriteback(LineAddr line)
+{
+    const PageNum page = pageOfLine(line);
+    const std::uint32_t lineIdx = lineInPage(line);
+    auto it = frameOf_.find(page);
+    if (it != frameOf_.end()) {
+        it->second.residency.touch(lineIdx, true);
+        const Addr dev = frameAddr(it->second.frameIdx) +
+                         static_cast<Addr>(lineIdx) * kLineBytes;
+        inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr);
+    } else {
+        offPkgWrite64(line, TrafficCat::Writeback);
+    }
+}
+
+} // namespace banshee

@@ -1,0 +1,53 @@
+#include "sim/report.hh"
+
+#include <cstdarg>
+
+namespace banshee {
+
+void
+TablePrinter::printHeader() const
+{
+    printRow(headers_);
+    printRule();
+}
+
+void
+TablePrinter::printRow(const std::vector<std::string> &cells) const
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        // First column is wider (workload names).
+        const int w = i == 0 ? width_ + 4 : width_;
+        std::printf("%-*s", w, cells[i].c_str());
+    }
+    std::printf("\n");
+}
+
+void
+TablePrinter::printRule() const
+{
+    int total = width_ + 4 + static_cast<int>(headers_.size() - 1) * width_;
+    for (int i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+void
+printBanner(const std::string &title, const std::string &paperRef)
+{
+    std::printf("==============================================================="
+                "=================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paperRef.c_str());
+    std::printf("==============================================================="
+                "=================\n");
+}
+
+} // namespace banshee

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width table printing for the bench binaries, so each bench
+ * reproduces its paper table/figure as aligned rows on stdout.
+ */
+
+#ifndef BANSHEE_SIM_REPORT_HH
+#define BANSHEE_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace banshee {
+
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers,
+                          int columnWidth = 12)
+        : headers_(std::move(headers)), width_(columnWidth)
+    {
+    }
+
+    void printHeader() const;
+    void printRow(const std::vector<std::string> &cells) const;
+    void printRule() const;
+
+  private:
+    std::vector<std::string> headers_;
+    int width_;
+};
+
+/** Format a double with @p decimals places. */
+std::string fmt(double value, int decimals = 2);
+
+/** Banner printed at the top of every bench binary. */
+void printBanner(const std::string &title, const std::string &paperRef);
+
+} // namespace banshee
+
+#endif // BANSHEE_SIM_REPORT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Parallel experiment runner: each experiment is an independent
+ * (config, label) pair simulated on its own thread. Used by every
+ * bench binary to sweep workloads x schemes in minutes instead of
+ * hours.
+ */
+
+#ifndef BANSHEE_SIM_RUNNER_HH
+#define BANSHEE_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+
+namespace banshee {
+
+struct Experiment
+{
+    std::string label;
+    SystemConfig config;
+};
+
+/**
+ * Run all experiments, @p threads at a time (0 = hardware
+ * concurrency). Results are returned in the input order.
+ */
+std::vector<RunResult> runExperiments(const std::vector<Experiment> &exps,
+                                      unsigned threads = 0,
+                                      bool showProgress = true);
+
+/**
+ * Build the standard scheme sweep of Figures 4-6 for one workload:
+ * NoCache, Unison, TDC, Alloy 1, Alloy 0.1, Banshee, CacheOnly.
+ */
+std::vector<Experiment> schemeSweep(const SystemConfig &base,
+                                    const std::string &workload);
+
+/** Geometric mean helper (the paper's average bars). */
+double geomean(const std::vector<double> &values);
+
+} // namespace banshee
+
+#endif // BANSHEE_SIM_RUNNER_HH

@@ -1,0 +1,245 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/banshee.hh"
+#include "schemes/alloy.hh"
+#include "schemes/hma.hh"
+#include "schemes/simple.hh"
+#include "schemes/tdc.hh"
+#include "schemes/unison.hh"
+#include "workload/workloads.hh"
+
+namespace banshee {
+
+double
+RunResult::inPkgBpi(TrafficCat c) const
+{
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(
+                     inPkgBytes[static_cast<std::size_t>(c)]) /
+                     instructions;
+}
+
+double
+RunResult::offPkgBpi(TrafficCat c) const
+{
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(
+                     offPkgBytes[static_cast<std::size_t>(c)]) /
+                     instructions;
+}
+
+double
+RunResult::inPkgTotalBpi() const
+{
+    double t = 0.0;
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c)
+        t += static_cast<double>(inPkgBytes[c]);
+    return instructions == 0 ? 0.0 : t / instructions;
+}
+
+double
+RunResult::offPkgTotalBpi() const
+{
+    double t = 0.0;
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c)
+        t += static_cast<double>(offPkgBytes[c]);
+    return instructions == 0 ? 0.0 : t / instructions;
+}
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    sim_assert(WorkloadFactory::exists(config.workload),
+               "unknown workload '%s'", config.workload.c_str());
+
+    pageTable_ = std::make_unique<PageTableManager>();
+    os_ = std::make_unique<OsServices>(eq_, *pageTable_, config.osCosts,
+                                       config.seed);
+    mem_ = std::make_unique<MemSystem>(eq_, config.mem);
+
+    if (config.enableBatman) {
+        batman_ = std::make_unique<BatmanController>(
+            eq_, mem_->inPkg(), mem_->offPkg(), config.batman);
+    }
+
+    // Scheme factory: one instance per memory controller.
+    const SystemConfig &cfg = config_;
+    BatmanController *batman = batman_.get();
+    SchemeFactory factory = [&cfg,
+                             batman](const SchemeContext &baseCtx)
+        -> std::unique_ptr<DramCacheScheme> {
+        SchemeContext ctx = baseCtx;
+        ctx.batman = batman;
+        switch (cfg.scheme) {
+          case SchemeKind::NoCache:
+            return std::make_unique<NoCacheScheme>(ctx);
+          case SchemeKind::CacheOnly:
+            return std::make_unique<CacheOnlyScheme>(ctx);
+          case SchemeKind::Alloy:
+            return std::make_unique<AlloyScheme>(ctx, cfg.alloy);
+          case SchemeKind::Unison:
+            return std::make_unique<UnisonScheme>(ctx, cfg.unison);
+          case SchemeKind::Tdc:
+            return std::make_unique<TdcScheme>(ctx);
+          case SchemeKind::Hma:
+            return std::make_unique<HmaScheme>(ctx, cfg.hma);
+          case SchemeKind::Banshee:
+            return std::make_unique<BansheeScheme>(ctx, cfg.banshee);
+        }
+        panic("unhandled scheme kind");
+    };
+    mem_->buildSchemes(factory, pageTable_.get(), os_.get(), config.seed);
+
+    HierarchyParams hp = config.hierarchy;
+    hp.numCores = config.numCores;
+    hierarchy_ = std::make_unique<CacheHierarchy>(hp, *mem_);
+
+    for (CoreId c = 0; c < config.numCores; ++c) {
+        tlbs_.push_back(std::make_unique<Tlb>(
+            config.tlb, *pageTable_, "tlb" + std::to_string(c)));
+        patterns_.push_back(WorkloadFactory::create(
+            config.workload, c, config.numCores, config.footprintScale));
+        cores_.push_back(std::make_unique<CoreModel>(
+            c, config.core, eq_, *hierarchy_, *tlbs_[c], *patterns_[c],
+            config.seed * 1000003ull + c));
+        cores_[c]->onParked([this](CoreId) {
+            ++parkedCount_;
+            if (parkedCount_ == config_.numCores)
+                eq_.requestStop();
+        });
+    }
+
+    // Register OS hooks last so stalls and shootdowns reach the cores.
+    for (CoreId c = 0; c < config.numCores; ++c) {
+        CoreModel *core = cores_[c].get();
+        Tlb *tlb = tlbs_[c].get();
+        os_->registerCore(OsServices::CoreHooks{
+            [core](Cycle stall) { core->addStall(stall); },
+            [tlb] { tlb->flushAll(); }});
+    }
+}
+
+System::~System() = default;
+
+void
+System::runPhase(std::uint64_t instrLimit)
+{
+    parkedCount_ = 0;
+    for (auto &core : cores_) {
+        core->setInstrLimit(instrLimit);
+        core->start();
+    }
+    eq_.run();
+    sim_assert(parkedCount_ == config_.numCores,
+               "event queue drained with %u/%u cores parked — "
+               "a memory response was lost",
+               parkedCount_, config_.numCores);
+}
+
+void
+System::resetAllStats()
+{
+    mem_->resetStats();
+    hierarchy_->resetStats();
+    os_->stats().reset();
+    pageTable_->stats().reset();
+    for (auto &core : cores_)
+        core->stats().reset();
+    for (auto &tlb : tlbs_)
+        tlb->stats().reset();
+}
+
+RunResult
+System::run()
+{
+    // Warmup: caches, predictors and counters learn; stats discarded.
+    if (config_.warmupInstrPerCore > 0)
+        runPhase(config_.warmupInstrPerCore);
+    resetAllStats();
+
+    std::vector<Cycle> startCycle(config_.numCores);
+    std::vector<std::uint64_t> startInstr(config_.numCores);
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        startCycle[c] = cores_[c]->localCycle();
+        startInstr[c] = cores_[c]->instrRetired();
+    }
+    const Cycle startGlobal = eq_.now();
+
+    runPhase(config_.warmupInstrPerCore + config_.measureInstrPerCore);
+
+    return collect(startCycle, startInstr, startGlobal);
+}
+
+RunResult
+System::collect(const std::vector<Cycle> &phaseStartCycle,
+                const std::vector<std::uint64_t> &phaseStartInstr,
+                Cycle phaseStartGlobal)
+{
+    RunResult r;
+    r.workload = config_.workload;
+    r.scheme = schemeKindName(config_.scheme);
+    if (config_.scheme == SchemeKind::Alloy) {
+        r.scheme += config_.alloy.fillProbability >= 1.0 ? " 1" : " 0.1";
+    }
+
+    Cycle maxCycles = 0;
+    std::uint64_t instr = 0;
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        const Cycle cycles = cores_[c]->localCycle() - phaseStartCycle[c];
+        maxCycles = std::max(maxCycles, cycles);
+        instr += cores_[c]->instrRetired() - phaseStartInstr[c];
+    }
+    r.cycles = std::max<Cycle>(maxCycles, 1);
+    r.instructions = instr;
+    r.ipc = static_cast<double>(instr) / r.cycles;
+
+    r.dramCacheAccesses = mem_->totalAccesses();
+    r.dramCacheMisses = mem_->totalMisses();
+    r.missRate = r.dramCacheAccesses == 0
+                     ? 0.0
+                     : static_cast<double>(r.dramCacheMisses) /
+                           r.dramCacheAccesses;
+    r.mpki = instr == 0 ? 0.0
+                        : 1000.0 * r.dramCacheMisses / instr;
+    r.llcMpki = instr == 0
+                    ? 0.0
+                    : 1000.0 * hierarchy_->llcMisses() / instr;
+
+    const Cycle elapsed =
+        std::max<Cycle>(eq_.now() - phaseStartGlobal, 1);
+    if (mem_->inPkg()) {
+        for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+            r.inPkgBytes[c] = mem_->inPkg()->traffic().bytes(
+                static_cast<TrafficCat>(c));
+        }
+        r.inPkgBusUtil = mem_->inPkg()->busUtilization(elapsed);
+    }
+    if (mem_->offPkg()) {
+        for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+            r.offPkgBytes[c] = mem_->offPkg()->traffic().bytes(
+                static_cast<TrafficCat>(c));
+        }
+        r.offPkgBusUtil = mem_->offPkg()->busUtilization(elapsed);
+    }
+
+    r.avgFetchLatency = mem_->avgFetchLatency();
+    r.pteUpdateRuns = os_->updateRuns();
+    r.tlbShootdowns = os_->stats().value("tlbShootdowns");
+
+    for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc) {
+        auto &s = mem_->scheme(mc);
+        if (auto *banshee = dynamic_cast<BansheeScheme *>(&s)) {
+            r.tagBufferHits += banshee->tagBuffer().hits();
+            r.tagBufferMisses += banshee->tagBuffer().misses();
+            r.replacementsBlocked +=
+                s.stats().value("replacementsBlocked");
+        }
+    }
+    return r;
+}
+
+} // namespace banshee

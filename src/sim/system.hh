@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Full-system assembly and the warmup/measure run loop.
+ *
+ * A System wires one SystemConfig into a complete simulated machine:
+ * event queue, page table + OS services, DRAM devices + memory
+ * controllers + the selected DRAM-cache scheme, cache hierarchy,
+ * TLBs, workload generators and cores. run() executes a warmup phase
+ * (caches and predictors learn, statistics discarded) followed by a
+ * measured phase, and returns a RunResult with everything the
+ * benches and tests need.
+ */
+
+#ifndef BANSHEE_SIM_SYSTEM_HH
+#define BANSHEE_SIM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/event_queue.hh"
+#include "cpu/core_model.hh"
+#include "cpu/tlb.hh"
+#include "dram/traffic.hh"
+#include "mem/mem_system.hh"
+#include "os/os_services.hh"
+#include "os/page_table.hh"
+#include "schemes/batman.hh"
+#include "sim/system_config.hh"
+#include "workload/pattern.hh"
+
+namespace banshee {
+
+/** Everything measured over the measured phase of one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string scheme;
+
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;       ///< slowest core's measured cycles
+    double ipc = 0.0;       ///< aggregate instructions / cycles
+
+    std::uint64_t dramCacheAccesses = 0;
+    std::uint64_t dramCacheMisses = 0;
+    double missRate = 0.0;
+    double mpki = 0.0;      ///< DRAM cache misses per kilo-instruction
+    double llcMpki = 0.0;
+
+    /** Bytes per category (see TrafficCat). */
+    std::array<std::uint64_t, kNumTrafficCats> inPkgBytes{};
+    std::array<std::uint64_t, kNumTrafficCats> offPkgBytes{};
+
+    double inPkgBusUtil = 0.0;
+    double offPkgBusUtil = 0.0;
+    double avgFetchLatency = 0.0; ///< mean LLC-miss service cycles
+
+    std::uint64_t pteUpdateRuns = 0;
+    std::uint64_t tlbShootdowns = 0;
+    std::uint64_t tagBufferHits = 0;
+    std::uint64_t tagBufferMisses = 0;
+    std::uint64_t replacementsBlocked = 0;
+
+    double inPkgBpi(TrafficCat c) const;
+    double offPkgBpi(TrafficCat c) const;
+    double inPkgTotalBpi() const;
+    double offPkgTotalBpi() const;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Warmup + measured phase; returns the measured statistics. */
+    RunResult run();
+
+    // Component access for tests and examples.
+    EventQueue &eventQueue() { return eq_; }
+    PageTableManager &pageTable() { return *pageTable_; }
+    OsServices &os() { return *os_; }
+    MemSystem &memSystem() { return *mem_; }
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    CoreModel &core(CoreId id) { return *cores_[id]; }
+    Tlb &tlb(CoreId id) { return *tlbs_[id]; }
+    const SystemConfig &config() const { return config_; }
+
+    /** Zero every statistic (called at the warmup boundary). */
+    void resetAllStats();
+
+  private:
+    /** Run all cores until each reaches @p instrLimit. */
+    void runPhase(std::uint64_t instrLimit);
+
+    RunResult collect(const std::vector<Cycle> &phaseStartCycle,
+                      const std::vector<std::uint64_t> &phaseStartInstr,
+                      Cycle phaseStartGlobal);
+
+    SystemConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<PageTableManager> pageTable_;
+    std::unique_ptr<OsServices> os_;
+    std::unique_ptr<MemSystem> mem_;
+    std::unique_ptr<BatmanController> batman_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::unique_ptr<AccessPattern>> patterns_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::uint32_t parkedCount_ = 0;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_SIM_SYSTEM_HH

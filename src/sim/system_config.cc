@@ -1,0 +1,85 @@
+#include "sim/system_config.hh"
+
+namespace banshee {
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::NoCache:
+        return "NoCache";
+      case SchemeKind::CacheOnly:
+        return "CacheOnly";
+      case SchemeKind::Alloy:
+        return "Alloy";
+      case SchemeKind::Unison:
+        return "Unison";
+      case SchemeKind::Tdc:
+        return "TDC";
+      case SchemeKind::Hma:
+        return "HMA";
+      case SchemeKind::Banshee:
+        return "Banshee";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::scaledDefault()
+{
+    SystemConfig c;
+    // Table 2 shape: 16 cores, 4-issue OoO; four in-package channels
+    // and one off-package channel with identical DDR-1333 timing.
+    c.mem.numMcs = 4;
+    c.mem.numOffPkgChannels = 1;
+    c.mem.inPkgCapacity = 128ull << 20;
+    c.footprintScale = 1.0;
+    return c;
+}
+
+SystemConfig
+SystemConfig::paperDefault()
+{
+    SystemConfig c = scaledDefault();
+    c.mem.inPkgCapacity = 1ull << 30;
+    c.footprintScale = 8.0;
+    c.warmupInstrPerCore = 2'000'000;
+    c.measureInstrPerCore = 4'000'000;
+    return c;
+}
+
+SystemConfig
+SystemConfig::testDefault()
+{
+    SystemConfig c = scaledDefault();
+    c.mem.inPkgCapacity = 8ull << 20;
+    c.footprintScale = 1.0 / 16.0;
+    c.warmupInstrPerCore = 20'000;
+    c.measureInstrPerCore = 30'000;
+    c.banshee.checkStaleInvariant = true;
+    return c;
+}
+
+SystemConfig &
+SystemConfig::withScheme(SchemeKind kind)
+{
+    scheme = kind;
+    if (kind == SchemeKind::NoCache)
+        mem.hasInPkg = false;
+    else
+        mem.hasInPkg = true;
+    if (kind == SchemeKind::CacheOnly)
+        mem.hasOffPkg = false;
+    else
+        mem.hasOffPkg = true;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withAlloyFillProb(double p)
+{
+    alloy.fillProbability = p;
+    return *this;
+}
+
+} // namespace banshee

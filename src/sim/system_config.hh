@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Full-system configuration (paper Tables 2 and 3) plus experiment
+ * knobs. Two presets:
+ *
+ *  - scaledDefault(): the default for this repository's benches —
+ *    same shape as the paper's system but with a 128 MB DRAM cache
+ *    and proportionally scaled workload footprints, so every
+ *    experiment runs in seconds while preserving the cache:footprint
+ *    and bandwidth ratios the paper's conclusions depend on;
+ *  - paperDefault(): the paper's 1 GB cache and full footprints (for
+ *    long runs).
+ */
+
+#ifndef BANSHEE_SIM_SYSTEM_CONFIG_HH
+#define BANSHEE_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "core/banshee.hh"
+#include "cpu/core_model.hh"
+#include "cpu/tlb.hh"
+#include "mem/mem_system.hh"
+#include "os/os_services.hh"
+#include "schemes/alloy.hh"
+#include "schemes/batman.hh"
+#include "schemes/hma.hh"
+#include "schemes/unison.hh"
+
+namespace banshee {
+
+enum class SchemeKind : std::uint8_t
+{
+    NoCache,
+    CacheOnly,
+    Alloy,     ///< fill probability from AlloyConfig (1.0 or 0.1)
+    Unison,
+    Tdc,
+    Hma,
+    Banshee
+};
+
+const char *schemeKindName(SchemeKind kind);
+
+struct SystemConfig
+{
+    // Table 2.
+    std::uint32_t numCores = 16;
+    CoreParams core;
+    HierarchyParams hierarchy;
+    TlbParams tlb;
+    MemSystemParams mem;
+    OsCosts osCosts;
+
+    // Scheme selection + per-scheme knobs (Table 3 for Banshee).
+    SchemeKind scheme = SchemeKind::Banshee;
+    AlloyConfig alloy;
+    UnisonConfig unison;
+    HmaConfig hma;
+    BansheeConfig banshee;
+
+    bool enableBatman = false;
+    BatmanParams batman;
+
+    // Workload + run control.
+    std::string workload = "pagerank";
+    double footprintScale = 1.0;
+    std::uint64_t warmupInstrPerCore = 1'200'000;
+    std::uint64_t measureInstrPerCore = 1'200'000;
+    std::uint64_t seed = 42;
+
+    /** Scaled default (128 MB cache) — see file comment. */
+    static SystemConfig scaledDefault();
+
+    /** Paper-sized system (1 GB cache, 8x footprints). */
+    static SystemConfig paperDefault();
+
+    /** Tiny system for unit tests (8 MB cache, 1/16 footprints). */
+    static SystemConfig testDefault();
+
+    /** Apply a scheme selection with that scheme's paper defaults. */
+    SystemConfig &withScheme(SchemeKind kind);
+
+    /** Convenience for Alloy-1 vs Alloy-0.1. */
+    SystemConfig &withAlloyFillProb(double p);
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * A small binary trace format lets downstream users drive the
+ * simulator with their own address streams (e.g. captured with PIN or
+ * DynamoRIO) instead of the synthetic generators. Records are
+ * fixed-size and the replayer loops the trace when it runs out.
+ *
+ * Format: 8-byte magic "BSHTRC01", u64 record count, then per record
+ * { u64 addr; u8 flags (bit0 = write, bit1 = depends-on-prev);
+ *   u8 nonMemBefore; u16 pad }.
+ */
+
+#ifndef BANSHEE_WORKLOAD_TRACE_HH
+#define BANSHEE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/pattern.hh"
+
+namespace banshee {
+
+struct TraceRecord
+{
+    Addr addr = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t nonMemBefore = 0;
+
+    static constexpr std::uint8_t kWrite = 1;
+    static constexpr std::uint8_t kDependsOnPrev = 2;
+};
+
+/** Write a trace file; returns false on I/O failure. */
+bool writeTrace(const std::string &path,
+                const std::vector<TraceRecord> &records);
+
+/** Read a trace file; throws via fatal() on malformed input. */
+std::vector<TraceRecord> readTrace(const std::string &path);
+
+/** Replays a trace cyclically as an AccessPattern. */
+class TracePattern : public AccessPattern
+{
+  public:
+    explicit TracePattern(std::vector<TraceRecord> records);
+
+    /** Convenience: load from file. */
+    static std::unique_ptr<TracePattern> fromFile(const std::string &path);
+
+    MemOp next(Rng &rng) override;
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/** Capture every op a pattern produces (testing / trace creation). */
+class RecordingPattern : public AccessPattern
+{
+  public:
+    explicit RecordingPattern(AccessPattern &inner) : inner_(inner) {}
+
+    MemOp
+    next(Rng &rng) override
+    {
+        MemOp op = inner_.next(rng);
+        TraceRecord r;
+        r.addr = op.addr;
+        r.flags = (op.isWrite ? TraceRecord::kWrite : 0) |
+                  (op.dependsOnPrev ? TraceRecord::kDependsOnPrev : 0);
+        r.nonMemBefore = op.nonMemBefore;
+        records_.push_back(r);
+        return op;
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    AccessPattern &inner_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_WORKLOAD_TRACE_HH

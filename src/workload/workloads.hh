@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The benchmark catalog (paper Section 5.1.2, Table 4).
+ *
+ * Graph analytics (16 threads over a shared heap): pagerank,
+ * tri_count, graph500, sgd, lsh. SPEC-like (16 independent copies):
+ * bwaves, lbm, mcf, omnetpp, libquantum, gcc, milc, soplex (plus
+ * gems, bzip2, leslie, cactus which only appear inside the Table 4
+ * mixes). Mixes mix1..mix3 assign two copies of eight benchmarks to
+ * the 16 cores.
+ *
+ * Every benchmark is a synthetic generator calibrated to the locality
+ * regime that drives its behavior in the paper (see pattern.hh and
+ * the per-benchmark comments in workloads.cc). Footprints default to
+ * the scaled system (128 MB DRAM cache); @p footprintScale rescales
+ * them (8.0 reproduces the paper's 1 GB-cache proportions).
+ */
+
+#ifndef BANSHEE_WORKLOAD_WORKLOADS_HH
+#define BANSHEE_WORKLOAD_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/pattern.hh"
+
+namespace banshee {
+
+class WorkloadFactory
+{
+  public:
+    /** The 16 workloads of Figures 4-6, in the paper's order. */
+    static std::vector<std::string> paperNames();
+
+    /** The multi-threaded graph suite. */
+    static std::vector<std::string> graphNames();
+
+    /** Homogeneous SPEC-like workloads (16 copies). */
+    static std::vector<std::string> specNames();
+
+    /** All names accepted by create(), including mix components. */
+    static std::vector<std::string> allNames();
+
+    static bool exists(const std::string &name);
+
+    /** True for shared-heap multithreaded workloads. */
+    static bool isGraph(const std::string &name);
+
+    /**
+     * Build the address-stream generator for @p core of @p name.
+     * @p footprintScale scales every region size.
+     */
+    static std::unique_ptr<AccessPattern> create(const std::string &name,
+                                                 CoreId core,
+                                                 std::uint32_t numCores,
+                                                 double footprintScale);
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_WORKLOAD_WORKLOADS_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the FBR directory and the metadata-packing claim
+ * (paper Fig. 3 / footnote 1 / Algorithm 1 primitives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fbr_directory.hh"
+
+namespace banshee {
+namespace {
+
+FbrParams
+tiny()
+{
+    FbrParams p;
+    p.numSets = 4;
+    p.ways = 4;
+    p.numCandidates = 5;
+    p.counterBits = 5;
+    return p;
+}
+
+TEST(FbrMetadata, PaperPackingFitsIn32Bytes)
+{
+    // 48-bit addresses, 2^16 sets, 4 KB pages -> 20-bit tags.
+    // 4 cached entries (20+5+1+1) + 5 candidates (20+5) = 233 bits.
+    EXPECT_EQ(metadataBitsPerSet(20, 5, 4, 5), 233u);
+    EXPECT_LE(metadataBitsPerSet(20, 5, 4, 5), 256u);
+}
+
+TEST(FbrMetadata, EightWayNeedsMoreMetadata)
+{
+    // Doubling the ways doubles per-set metadata (Table 6 discussion).
+    const std::uint32_t four = metadataBitsPerSet(20, 5, 4, 5);
+    const std::uint32_t eight = metadataBitsPerSet(19, 5, 8, 5);
+    EXPECT_GT(eight, four);
+}
+
+TEST(FbrDirectory, FindCachedAndCandidate)
+{
+    FbrDirectory d(tiny());
+    EXPECT_FALSE(d.findCached(0, 42).has_value());
+    d.cached(0, 2).tag = 42;
+    d.cached(0, 2).valid = true;
+    auto w = d.findCached(0, 42);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(*w, 2u);
+
+    EXPECT_FALSE(d.findCandidate(0, 43).has_value());
+    d.candidate(0, 3).tag = 43;
+    d.candidate(0, 3).valid = true;
+    auto s = d.findCandidate(0, 43);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s, 3u);
+}
+
+TEST(FbrDirectory, MinCountWayPrefersInvalid)
+{
+    FbrDirectory d(tiny());
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        d.cached(0, w).valid = true;
+        d.cached(0, w).count = 10 + w;
+    }
+    d.cached(0, 3).valid = false; // invalid counts as zero
+    EXPECT_EQ(d.minCountWay(0), 3u);
+    d.cached(0, 3).valid = true;
+    d.cached(0, 3).count = 1;
+    EXPECT_EQ(d.minCountWay(0), 3u);
+}
+
+TEST(FbrDirectory, SaturatingIncrementSignalsOverflow)
+{
+    FbrDirectory d(tiny());
+    d.cached(0, 0).valid = true;
+    d.cached(0, 0).count = d.maxCount() - 1;
+    EXPECT_TRUE(d.incrementCached(0, 0));  // reaches max
+    EXPECT_TRUE(d.incrementCached(0, 0));  // stays at max
+    EXPECT_EQ(d.cached(0, 0).count, d.maxCount());
+}
+
+TEST(FbrDirectory, HalveAllDividesEverything)
+{
+    FbrDirectory d(tiny());
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        d.cached(0, w).valid = true;
+        d.cached(0, w).count = 2 * w + 1;
+    }
+    for (std::uint32_t s = 0; s < 5; ++s)
+        d.candidate(0, s).count = 9;
+    d.halveAll(0);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        EXPECT_EQ(d.cached(0, w).count, (2 * w + 1) / 2);
+    for (std::uint32_t s = 0; s < 5; ++s)
+        EXPECT_EQ(d.candidate(0, s).count, 4u);
+    // Other sets untouched.
+    EXPECT_EQ(d.cached(1, 0).count, 0u);
+}
+
+TEST(FbrDirectory, PromoteSwapsCandidateAndVictim)
+{
+    FbrDirectory d(tiny());
+    d.cached(0, 1).tag = 100;
+    d.cached(0, 1).count = 3;
+    d.cached(0, 1).valid = true;
+    d.cached(0, 1).dirty = true;
+    d.candidate(0, 2).tag = 200;
+    d.candidate(0, 2).count = 9;
+    d.candidate(0, 2).valid = true;
+
+    const auto evicted = d.promote(0, 1, 2);
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.tag, 100u);
+    EXPECT_TRUE(evicted.dirty);
+
+    // Way now holds the promoted page, clean, keeping its count.
+    EXPECT_EQ(d.cached(0, 1).tag, 200u);
+    EXPECT_EQ(d.cached(0, 1).count, 9u);
+    EXPECT_FALSE(d.cached(0, 1).dirty);
+
+    // Candidate slot now tracks the evicted page (paper: it must
+    // out-score the threshold to come back, preventing ping-pong).
+    EXPECT_TRUE(d.candidate(0, 2).valid);
+    EXPECT_EQ(d.candidate(0, 2).tag, 100u);
+    EXPECT_EQ(d.candidate(0, 2).count, 3u);
+}
+
+TEST(FbrDirectory, PromoteIntoEmptyWayInvalidatesSlot)
+{
+    FbrDirectory d(tiny());
+    d.candidate(1, 0).tag = 7;
+    d.candidate(1, 0).count = 5;
+    d.candidate(1, 0).valid = true;
+    const auto evicted = d.promote(1, 0, 0);
+    EXPECT_FALSE(evicted.valid);
+    EXPECT_FALSE(d.candidate(1, 0).valid);
+    EXPECT_EQ(d.validCachedCount(), 1u);
+}
+
+class FbrCounterBitsTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FbrCounterBitsTest, MaxCountMatchesBits)
+{
+    FbrParams p = tiny();
+    p.counterBits = GetParam();
+    FbrDirectory d(p);
+    EXPECT_EQ(d.maxCount(), (1u << GetParam()) - 1);
+    d.cached(0, 0).valid = true;
+    for (std::uint32_t i = 0; i < (1u << GetParam()) + 5; ++i)
+        d.incrementCached(0, 0);
+    EXPECT_EQ(d.cached(0, 0).count, d.maxCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FbrCounterBitsTest,
+                         ::testing::Values(2u, 3u, 5u, 8u));
+
+} // namespace
+} // namespace banshee

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Integration and property tests: every scheme runs end-to-end on a
+ * tiny system without losing a memory response; the lazy-coherence
+ * invariant holds under the full machine (checkStaleInvariant); the
+ * bounding baselines bound; results are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+
+namespace banshee {
+namespace {
+
+SystemConfig
+tiny(SchemeKind kind, const std::string &workload = "libquantum")
+{
+    SystemConfig c = SystemConfig::testDefault();
+    c.workload = workload;
+    c.withScheme(kind);
+    if (kind == SchemeKind::Hma) {
+        c.hma.epoch = usToCycles(100.0);
+        c.hma.baseCost = usToCycles(5.0);
+    }
+    return c;
+}
+
+class AllSchemesTest : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(AllSchemesTest, RunsToCompletionOnTinySystem)
+{
+    SystemConfig c = tiny(GetParam());
+    System system(c);
+    const RunResult r = system.run();
+    // Every core retired its measured instructions (each phase limit
+    // may overshoot by at most one op's instruction group, so the
+    // measured delta can fall short by that much per core).
+    EXPECT_GE(r.instructions,
+              static_cast<std::uint64_t>(c.numCores) *
+                      c.measureInstrPerCore -
+                  c.numCores * 256ull);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.dramCacheAccesses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllSchemesTest,
+    ::testing::Values(SchemeKind::NoCache, SchemeKind::CacheOnly,
+                      SchemeKind::Alloy, SchemeKind::Unison,
+                      SchemeKind::Tdc, SchemeKind::Hma,
+                      SchemeKind::Banshee),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        std::string n = schemeKindName(info.param);
+        for (auto &ch : n)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n;
+    });
+
+TEST(SystemIntegration, NoCacheMissesEverythingCacheOnlyNothing)
+{
+    {
+        System s(tiny(SchemeKind::NoCache));
+        EXPECT_DOUBLE_EQ(s.run().missRate, 1.0);
+    }
+    {
+        System s(tiny(SchemeKind::CacheOnly));
+        EXPECT_DOUBLE_EQ(s.run().missRate, 0.0);
+    }
+}
+
+TEST(SystemIntegration, BansheeCachesACacheableWorkingSet)
+{
+    // libquantum at test scale fits the DRAM cache comfortably; after
+    // warmup Banshee must be serving most accesses from in-package.
+    System s(tiny(SchemeKind::Banshee));
+    const RunResult r = s.run();
+    EXPECT_LT(r.missRate, 0.5);
+    EXPECT_GT(r.inPkgBpi(TrafficCat::HitData), 0.0);
+}
+
+TEST(SystemIntegration, StaleInvariantHoldsUnderFullMachine)
+{
+    // testDefault() enables checkStaleInvariant: any request whose
+    // stale mapping the Tag Buffer fails to correct panics. Running
+    // a replacement-heavy workload to completion is the assertion.
+    SystemConfig c = tiny(SchemeKind::Banshee, "omnetpp");
+    ASSERT_TRUE(c.banshee.checkStaleInvariant);
+    System s(c);
+    const RunResult r = s.run();
+    EXPECT_GT(r.dramCacheAccesses, 0u);
+}
+
+TEST(SystemIntegration, CacheOnlyBeatsNoCacheOnHotWorkload)
+{
+    System a(tiny(SchemeKind::NoCache));
+    System b(tiny(SchemeKind::CacheOnly));
+    const Cycle noCache = a.run().cycles;
+    const Cycle cacheOnly = b.run().cycles;
+    EXPECT_LT(cacheOnly, noCache);
+}
+
+TEST(SystemIntegration, DeterministicAcrossRuns)
+{
+    SystemConfig c = tiny(SchemeKind::Banshee);
+    System a(c), b(c);
+    const RunResult ra = a.run(), rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.dramCacheMisses, rb.dramCacheMisses);
+    for (std::size_t cat = 0; cat < kNumTrafficCats; ++cat) {
+        EXPECT_EQ(ra.inPkgBytes[cat], rb.inPkgBytes[cat]);
+        EXPECT_EQ(ra.offPkgBytes[cat], rb.offPkgBytes[cat]);
+    }
+}
+
+TEST(SystemIntegration, SeedChangesResults)
+{
+    SystemConfig c = tiny(SchemeKind::Banshee);
+    System a(c);
+    c.seed = 777;
+    System b(c);
+    EXPECT_NE(a.run().cycles, b.run().cycles);
+}
+
+TEST(SystemIntegration, BansheeDemandPathHasNoTagTraffic)
+{
+    // The headline property (Table 1): Banshee's demand accesses move
+    // no tag bytes; only writeback probes and counter samples touch
+    // the tag rows. Compare against Alloy, where every access does.
+    System banshee(tiny(SchemeKind::Banshee));
+    System alloy(tiny(SchemeKind::Alloy));
+    const RunResult rb = banshee.run();
+    const RunResult ra = alloy.run();
+    const double bansheeTag = rb.inPkgBpi(TrafficCat::Tag);
+    const double alloyTag = ra.inPkgBpi(TrafficCat::Tag);
+    EXPECT_LT(bansheeTag, alloyTag * 0.5);
+}
+
+TEST(SystemIntegration, PteUpdatesTriggeredByReplacementChurn)
+{
+    SystemConfig c = tiny(SchemeKind::Banshee, "omnetpp");
+    c.banshee.tagBuffer.entries = 128; // small buffer: frequent flushes
+    System s(c);
+    const RunResult r = s.run();
+    EXPECT_GT(r.pteUpdateRuns, 0u);
+    EXPECT_GT(r.tlbShootdowns, 0u);
+    EXPECT_EQ(s.pageTable().staleCount(), s.pageTable().staleCount());
+}
+
+TEST(SystemIntegration, LargePagesRunEndToEnd)
+{
+    SystemConfig c = tiny(SchemeKind::Banshee, "pagerank");
+    // 2 MB pages need a larger partition: 64 MB -> 8 frames per MC.
+    c.mem.inPkgCapacity = 64ull << 20;
+    c.footprintScale = 0.25;
+    c.banshee.pageBits = kLargePageBits;
+    c.banshee.samplingCoeff = 0.001;
+    c.banshee.checkStaleInvariant = false; // TLB is 4K-grained
+    c.mem.mcStripeBits = kLargePageBits;
+    c.tlb.missLatency = 0;
+    System s(c);
+    const RunResult r = s.run();
+    EXPECT_GT(r.dramCacheAccesses, 0u);
+}
+
+TEST(SystemIntegration, BatmanRunsAndBypassActivatesUnderPressure)
+{
+    SystemConfig c = tiny(SchemeKind::Banshee, "libquantum");
+    c.enableBatman = true;
+    c.batman.epoch = usToCycles(20.0);
+    System s(c);
+    const RunResult r = s.run();
+    EXPECT_GT(r.dramCacheAccesses, 0u);
+}
+
+TEST(SystemIntegration, MeasurePhaseExcludesWarmup)
+{
+    SystemConfig c = tiny(SchemeKind::NoCache);
+    c.warmupInstrPerCore = 10'000;
+    c.measureInstrPerCore = 20'000;
+    System s(c);
+    const RunResult r = s.run();
+    // Measured instructions reflect only the measure phase.
+    EXPECT_NEAR(static_cast<double>(r.instructions),
+                static_cast<double>(c.numCores) * c.measureInstrPerCore,
+                c.numCores * 300.0);
+}
+
+TEST(Runner, ParallelSweepPreservesOrderAndDeterminism)
+{
+    SystemConfig base = SystemConfig::testDefault();
+    base.warmupInstrPerCore = 5'000;
+    base.measureInstrPerCore = 10'000;
+    auto exps = schemeSweep(base, "libquantum");
+    const auto seq = runExperiments(exps, 1, false);
+    const auto par = runExperiments(exps, 4, false);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].cycles, par[i].cycles) << exps[i].label;
+        EXPECT_EQ(seq[i].scheme, par[i].scheme);
+    }
+}
+
+TEST(Runner, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+} // namespace
+} // namespace banshee
