@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Lightweight formatting gate for CI and pre-commit use.
+#
+# Always checks for tabs and trailing whitespace in the C++ sources.
+# When clang-format is available, additionally reports style drift
+# (informational; the tree carries no .clang-format yet).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+files=$(find src tests bench examples \
+            -name '*.cc' -o -name '*.hh' -o -name '*.cpp' | sort)
+
+status=0
+
+bad_tabs=$(grep -l -P '\t' $files 2>/dev/null || true)
+if [ -n "$bad_tabs" ]; then
+    echo "error: tab characters found in:"
+    echo "$bad_tabs" | sed 's/^/  /'
+    status=1
+fi
+
+bad_ws=$(grep -l -E ' +$' $files 2>/dev/null || true)
+if [ -n "$bad_ws" ]; then
+    echo "error: trailing whitespace found in:"
+    echo "$bad_ws" | sed 's/^/  /'
+    status=1
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+    drift=0
+    for f in $files; do
+        if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+            drift=$((drift + 1))
+        fi
+    done
+    echo "info: clang-format reports drift in $drift file(s)"
+else
+    echo "info: clang-format not installed; skipped style check"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "format check passed"
+fi
+exit "$status"

@@ -43,7 +43,9 @@ BansheeScheme::BansheeScheme(const SchemeContext &ctx,
       statTagProbes_(stats_.counter("writebackTagProbes")),
       statCandidateTakeovers_(stats_.counter("candidateTakeovers")),
       statCounterOverflows_(stats_.counter("counterOverflows")),
-      statStaleMappingsServed_(stats_.counter("staleMappingsServed"))
+      statStaleMappingsServed_(stats_.counter("staleMappingsServed")),
+      statResizeEvictions_(stats_.counter("resizeEvictions")),
+      statResizeDirtyWritebacks_(stats_.counter("resizeDirtyWritebacks"))
 {
     const double lines = static_cast<double>(pageBytes_) / kLineBytes;
     threshold_ = config.replaceThreshold >= 0.0
@@ -309,10 +311,105 @@ BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
         ctx_.pageTable->setCurrentMapping(victim.tag, PageMapping{});
         ok = tagBuffer_.insertRemap(victim.tag, PageMapping{});
         sim_assert(ok, "tag buffer rejected victim remap");
+        // If the victim was awaiting resize migration its drain is
+        // moot; future accesses must use the new slice layout.
+        if (resizeDomain_)
+            resizeDomain_->notifyFrameEvicted(victim.tag);
     }
 
     if (tagBuffer_.needsFlush() && ctx_.os)
         ctx_.os->requestPteUpdate();
+}
+
+// --------------------------------------------------------------------
+// ResizeHost: the hooks the dynamic-resizing subsystem drains through.
+// --------------------------------------------------------------------
+
+void
+BansheeScheme::forEachResident(
+    const std::function<void(std::uint32_t, std::uint32_t, PageNum, bool)>
+        &fn)
+{
+    dir_.forEachValid([&fn](std::uint32_t setIdx, std::uint32_t way,
+                            const FbrDirectory::CachedEntry &e) {
+        fn(setIdx, way, e.tag, e.dirty);
+    });
+}
+
+bool
+BansheeScheme::residentAt(std::uint32_t setIdx, std::uint32_t way,
+                          PageNum page)
+{
+    const FbrDirectory::CachedEntry &e = dir_.cached(setIdx, way);
+    return e.valid && e.tag == page;
+}
+
+bool
+BansheeScheme::canEvictFrame(PageNum page) const
+{
+    // Same admission discipline as a replacement: the un-mapping must
+    // land in the tag buffer or stale TLB bits could go uncorrected.
+    return tagBuffer_.canAcceptRemaps(1) &&
+           tagBuffer_.canInsertRemapPair(page, false, 0);
+}
+
+bool
+BansheeScheme::evictFrame(std::uint32_t setIdx, std::uint32_t way)
+{
+    FbrDirectory::CachedEntry &e = dir_.cached(setIdx, way);
+    sim_assert(e.valid, "resize drain of an empty frame");
+    const PageNum page = e.tag;
+    const bool wasDirty = e.dirty;
+
+    // A dirty page makes the round trip through the DRAM models so
+    // migration competes with demand traffic for bus time; a clean
+    // page is dropped for free (its off-package copy is current).
+    if (wasDirty) {
+        inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
+                  TrafficCat::Migration);
+        offPkgBulk(pageAddr(page), pageBytes_, true, TrafficCat::Migration);
+    }
+    dir_.invalidate(setIdx, way);
+    ++statResizeEvictions_;
+    if (wasDirty)
+        ++statResizeDirtyWritebacks_;
+
+    // Publish the un-mapping exactly like a replacement victim's:
+    // hardware view first, then a tag-buffer remap entry so PTEs and
+    // TLBs learn of it at the next batch commit.
+    ctx_.pageTable->setCurrentMapping(page, PageMapping{});
+    const bool ok = tagBuffer_.insertRemap(page, PageMapping{});
+    sim_assert(ok, "tag buffer rejected resize remap after admission check");
+    if (tagBuffer_.needsFlush() && ctx_.os)
+        ctx_.os->requestPteUpdate();
+    return wasDirty;
+}
+
+void
+BansheeScheme::requestMappingCommit()
+{
+    if (ctx_.os)
+        ctx_.os->requestResizeCommit();
+}
+
+void
+BansheeScheme::verifyResidencyConsistent()
+{
+    dir_.forEachValid([this](std::uint32_t setIdx, std::uint32_t way,
+                             const FbrDirectory::CachedEntry &e) {
+        if (resizeDomain_) {
+            sim_assert(
+                resizeDomain_->sliceActive(resizeDomain_->sliceOfSet(setIdx)),
+                "resident frame in an inactive slice (set %u)", setIdx);
+        }
+        sim_assert(setOf(e.tag) == setIdx,
+                   "frame not at its page's home set (page %llx)",
+                   static_cast<unsigned long long>(e.tag));
+        const PageMapping m = ctx_.pageTable->currentMapping(e.tag);
+        sim_assert(m.cached && m.way == way,
+                   "directory and page table disagree (page %llx)",
+                   static_cast<unsigned long long>(e.tag));
+    });
 }
 
 } // namespace banshee

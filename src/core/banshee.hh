@@ -35,6 +35,8 @@
 #include "core/fbr_directory.hh"
 #include "core/tag_buffer.hh"
 #include "mem/scheme.hh"
+#include "resize/resize_domain.hh"
+#include "resize/resize_host.hh"
 
 namespace banshee {
 
@@ -60,7 +62,7 @@ struct BansheeConfig
     bool checkStaleInvariant = false;
 };
 
-class BansheeScheme : public DramCacheScheme
+class BansheeScheme : public DramCacheScheme, public ResizeHost
 {
   public:
     BansheeScheme(const SchemeContext &ctx, const BansheeConfig &config);
@@ -68,6 +70,31 @@ class BansheeScheme : public DramCacheScheme
     void demandFetch(LineAddr line, const MappingInfo &mapping, CoreId core,
                      MissDoneFn done) override;
     void demandWriteback(LineAddr line) override;
+
+    /** Banshee supports dynamic resizing (lazy-remap machinery). */
+    ResizeHost *resizeHost() override { return this; }
+
+    // ResizeHost interface (see resize/resize_host.hh). The resize
+    // subsystem drains frames through these; traffic is charged as
+    // TrafficCat::Migration and the un-mappings ride the tag buffer's
+    // lazy PTE-commit path like any replacement victim's.
+    std::uint32_t numSets() const override { return dir_.numSets(); }
+    void forEachResident(
+        const std::function<void(std::uint32_t, std::uint32_t, PageNum,
+                                 bool)> &fn) override;
+    bool residentAt(std::uint32_t setIdx, std::uint32_t way,
+                    PageNum page) override;
+    bool canEvictFrame(PageNum page) const override;
+    bool evictFrame(std::uint32_t setIdx, std::uint32_t way) override;
+    void requestMappingCommit() override;
+    void
+    attachResizeDomain(ResizeDomain *domain) override
+    {
+        resizeDomain_ = domain;
+    }
+    std::uint64_t demandAccesses() const override { return accesses(); }
+    std::uint64_t demandMisses() const override { return misses(); }
+    void verifyResidencyConsistent() override;
 
     /** Effective replacement threshold (counter lead required). */
     double threshold() const { return threshold_; }
@@ -100,12 +127,19 @@ class BansheeScheme : public DramCacheScheme
      * Without it, identity-mapped private heaps (which start at large
      * power-of-two boundaries) would alias every core onto the same
      * few sets — an artifact no real system exhibits.
+     *
+     * With resizing enabled the mixed hash becomes the offset within
+     * a consistent-hash-chosen slice instead of a modulus over all
+     * sets (see ResizeDomain::setOf), so capacity changes remap only
+     * the resized fraction of pages.
      */
     std::uint32_t
     setOf(PageNum page) const
     {
         const std::uint64_t h =
             (page / ctx_.numMcs) * 0x9e3779b97f4a7c15ull;
+        if (resizeDomain_)
+            return resizeDomain_->setOf(page, h >> 32);
         return static_cast<std::uint32_t>((h >> 32) % dir_.numSets());
     }
 
@@ -158,6 +192,7 @@ class BansheeScheme : public DramCacheScheme
     BansheeConfig config_;
     FbrDirectory dir_;
     TagBuffer tagBuffer_;
+    ResizeDomain *resizeDomain_ = nullptr;
     double threshold_;
     double coeffOverTwo_; ///< cached candidate-overtake constant
     EwmaRatio missRate_;
@@ -175,6 +210,8 @@ class BansheeScheme : public DramCacheScheme
     Counter &statCandidateTakeovers_;
     Counter &statCounterOverflows_;
     Counter &statStaleMappingsServed_;
+    Counter &statResizeEvictions_;
+    Counter &statResizeDirtyWritebacks_;
 };
 
 } // namespace banshee

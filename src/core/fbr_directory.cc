@@ -106,6 +106,21 @@ FbrDirectory::promote(std::uint32_t setIdx, std::uint32_t way,
     return evicted;
 }
 
+void
+FbrDirectory::forEachValid(
+    const std::function<void(std::uint32_t, std::uint32_t,
+                             const CachedEntry &)> &fn) const
+{
+    for (std::uint32_t set = 0; set < params_.numSets; ++set) {
+        for (std::uint32_t w = 0; w < params_.ways; ++w) {
+            const CachedEntry &e =
+                cached_[static_cast<std::uint64_t>(set) * params_.ways + w];
+            if (e.valid)
+                fn(set, w, e);
+        }
+    }
+}
+
 std::uint64_t
 FbrDirectory::validCachedCount() const
 {

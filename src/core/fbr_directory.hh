@@ -16,6 +16,7 @@
 #define BANSHEE_CORE_FBR_DIRECTORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -133,6 +134,21 @@ class FbrDirectory
 
     /** Number of valid cached entries across all sets (tests). */
     std::uint64_t validCachedCount() const;
+
+    /**
+     * Visit every valid cached frame: fn(set, way, entry). Used by
+     * the resize subsystem to find pages whose slice changed.
+     */
+    void forEachValid(
+        const std::function<void(std::uint32_t, std::uint32_t,
+                                 const CachedEntry &)> &fn) const;
+
+    /** Drop a frame (resize drain); no-op if already invalid. */
+    void
+    invalidate(std::uint32_t setIdx, std::uint32_t way)
+    {
+        cached(setIdx, way) = CachedEntry{};
+    }
 
   private:
     FbrParams params_;

@@ -29,6 +29,7 @@ enum class TrafficCat : std::uint8_t
     Demand,        ///< off-package demand fetch
     Fill,          ///< off-package read feeding a cache fill
     Writeback,     ///< dirty data written back off-package
+    Migration,     ///< data moved by a cache-resize transition
     NumCats
 };
 
@@ -40,7 +41,7 @@ trafficCatName(TrafficCat c)
 {
     static const char *names[kNumTrafficCats] = {
         "HitData", "MissData", "Tag", "Counter",
-        "Replacement", "Demand", "Fill", "Writeback",
+        "Replacement", "Demand", "Fill", "Writeback", "Migration",
     };
     return names[static_cast<std::size_t>(c)];
 }

@@ -29,6 +29,7 @@
 namespace banshee {
 
 class BatmanController;
+class ResizeHost;
 
 /** Everything a scheme needs from the surrounding system. */
 struct SchemeContext
@@ -69,6 +70,13 @@ class DramCacheScheme
 
     /** Posted dirty-line eviction from the LLC (no mapping attached). */
     virtual void demandWriteback(LineAddr line) = 0;
+
+    /**
+     * The scheme's dynamic-resize interface, or nullptr when the
+     * scheme does not support runtime capacity changes (only Banshee
+     * does: resizing rides on its lazy PTE/TLB remap machinery).
+     */
+    virtual ResizeHost *resizeHost() { return nullptr; }
 
     const std::string &name() const { return name_; }
 

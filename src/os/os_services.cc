@@ -64,6 +64,8 @@ OsServices::finishUpdate()
     for (auto &lock : locks_)
         lock(false);
     updateInProgress_ = false;
+    for (auto &listener : updateListeners_)
+        listener();
 }
 
 } // namespace banshee

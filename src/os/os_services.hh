@@ -57,6 +57,10 @@ class OsServices
     /** Replacement lock/unlock hook registered by each Banshee MC. */
     using LockFn = std::function<void(bool)>;
 
+    /** Listener invoked every time a batch PTE update completes (the
+     *  resize subsystem resumes stalled migrations from it). */
+    using UpdateListenerFn = std::function<void()>;
+
     OsServices(EventQueue &eq, PageTableManager &pageTable,
                OsCosts costs = OsCosts{}, std::uint64_t seed = 7)
         : eq_(eq), pageTable_(pageTable), costs_(costs), rng_(seed),
@@ -64,7 +68,8 @@ class OsServices
           statUpdates_(stats_.counter("pteUpdateRuns")),
           statPagesCommitted_(stats_.counter("pagesCommitted")),
           statPteWrites_(stats_.counter("pteWrites")),
-          statShootdowns_(stats_.counter("tlbShootdowns"))
+          statShootdowns_(stats_.counter("tlbShootdowns")),
+          statResizeCommits_(stats_.counter("resizeCommitRequests"))
     {
     }
 
@@ -78,11 +83,31 @@ class OsServices
 
     void registerReplacementLock(LockFn fn) { locks_.push_back(std::move(fn)); }
 
+    void
+    registerUpdateListener(UpdateListenerFn fn)
+    {
+        updateListeners_.push_back(std::move(fn));
+    }
+
     /**
      * Hardware interrupt: a tag buffer crossed its threshold. No-op if
      * an update is already in flight.
      */
     void requestPteUpdate();
+
+    /**
+     * Cache-resize cooperation entry point: the migration engine (or
+     * the resize controller at transition end) asks for the same batch
+     * PTE-update/shootdown routine replacements use, so resize remaps
+     * piggyback on the lazy TLB-coherence machinery instead of paying
+     * per-page shootdowns.
+     */
+    void
+    requestResizeCommit()
+    {
+        ++statResizeCommits_;
+        requestPteUpdate();
+    }
 
     bool updateInProgress() const { return updateInProgress_; }
 
@@ -114,6 +139,7 @@ class OsServices
     std::vector<CoreHooks> cores_;
     std::vector<HarvestFn> harvesters_;
     std::vector<LockFn> locks_;
+    std::vector<UpdateListenerFn> updateListeners_;
     bool updateInProgress_ = false;
 
     StatSet stats_;
@@ -121,6 +147,7 @@ class OsServices
     Counter &statPagesCommitted_;
     Counter &statPteWrites_;
     Counter &statShootdowns_;
+    Counter &statResizeCommits_;
 };
 
 } // namespace banshee

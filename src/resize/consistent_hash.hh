@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Consistent-hash placement of pages onto cache slices.
+ *
+ * Classic virtual-node ring (Karger et al.), in the role Chang et
+ * al.'s hardware consistent-hashing mechanism plays for resizable
+ * DRAM caches: every slice owns `vnodesPerSlice` pseudo-random points
+ * on a 64-bit ring; a page belongs to the first *active* slice at or
+ * after hash(page). Deactivating a slice therefore remaps exactly the
+ * pages that belonged to it (they spill to their ring successors),
+ * and reactivating it remaps exactly the pages that return — in both
+ * directions the remapped fraction is ~K/N for K of N slices, while a
+ * mod-N index would remap nearly everything.
+ *
+ * The ring is immutable after construction; activation state is a
+ * bitmap consulted during the successor walk, so resizes are O(1) and
+ * lookups stay O(log ring + walk).
+ */
+
+#ifndef BANSHEE_RESIZE_CONSISTENT_HASH_HH
+#define BANSHEE_RESIZE_CONSISTENT_HASH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "resize/resize_config.hh"
+
+namespace banshee {
+
+class ConsistentHashMapper
+{
+  public:
+    explicit ConsistentHashMapper(const ConsistentHashParams &params);
+
+    std::uint32_t numSlices() const { return params_.numSlices; }
+    std::uint32_t activeSlices() const { return activeCount_; }
+
+    bool
+    isActive(std::uint32_t slice) const
+    {
+        return active_[slice];
+    }
+
+    /** Activate/deactivate a slice. At least one must stay active. */
+    void setActive(std::uint32_t slice, bool active);
+
+    /** The active slice owning @p page. */
+    std::uint32_t sliceOf(PageNum page) const;
+
+    /** splitmix64 — the ring's key hash (exposed for tests). */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+  private:
+    struct VNode
+    {
+        std::uint64_t point;
+        std::uint32_t slice;
+
+        bool
+        operator<(const VNode &o) const
+        {
+            return point != o.point ? point < o.point : slice < o.slice;
+        }
+    };
+
+    ConsistentHashParams params_;
+    std::vector<VNode> ring_; ///< sorted by point
+    std::vector<bool> active_;
+    std::uint32_t activeCount_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_RESIZE_CONSISTENT_HASH_HH

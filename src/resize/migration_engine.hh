@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Background drain of remapped pages during a cache resize.
+ *
+ * Instead of a stop-the-world flush, the engine walks the list of
+ * frames whose slice assignment changed and evicts them in small
+ * rate-limited batches on the event queue, so migration writebacks
+ * interleave with demand traffic in the DRAM controllers' queues
+ * exactly like any other requests. When the Tag Buffer cannot accept
+ * further remap entries the engine requests the OS batch PTE-update
+ * (the same lazy machinery replacements use) and backs off; the
+ * resize controller kicks it again the moment the update completes.
+ */
+
+#ifndef BANSHEE_RESIZE_MIGRATION_ENGINE_HH
+#define BANSHEE_RESIZE_MIGRATION_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "resize/resize_config.hh"
+#include "resize/resize_host.hh"
+
+namespace banshee {
+
+class MigrationEngine
+{
+  public:
+    MigrationEngine(EventQueue &eq, ResizeHost &host,
+                    const MigrationParams &params, std::string name);
+
+    /** Queue one frame for draining (before start()). */
+    void enqueue(std::uint32_t set, std::uint32_t way, PageNum page);
+
+    /**
+     * Begin draining the queued frames; @p onDrained fires (possibly
+     * immediately) once the backlog is empty. @p onPageDone fires for
+     * every queued page as it is drained or skipped.
+     */
+    void start(std::function<void(PageNum)> onPageDone,
+               std::function<void()> onDrained);
+
+    /** Re-arm a stalled engine (e.g. after a PTE update freed tag
+     *  buffer space). No-op when idle or already armed. */
+    void kick();
+
+    bool active() const { return active_; }
+    std::size_t backlog() const { return pending_.size(); }
+
+    std::uint64_t pagesDrained() const { return statDrained_.value(); }
+    std::uint64_t dirtyPagesDrained() const { return statDirty_.value(); }
+    std::uint64_t pagesSkipped() const { return statSkipped_.value(); }
+    std::uint64_t tagBufferStalls() const { return statStalls_.value(); }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Frame
+    {
+        std::uint32_t set;
+        std::uint32_t way;
+        PageNum page;
+    };
+
+    /** Drain up to pagesPerBatch frames, then re-arm or finish. */
+    void tick();
+
+    void armTick(Cycle delay);
+
+    EventQueue &eq_;
+    ResizeHost &host_;
+    MigrationParams params_;
+    std::deque<Frame> pending_;
+    std::function<void(PageNum)> onPageDone_;
+    std::function<void()> onDrained_;
+    bool active_ = false;
+    bool tickArmed_ = false;
+    Cycle tickCycle_ = 0; ///< cycle of the pending tick, if armed
+
+    StatSet stats_;
+    Counter &statDrained_;
+    Counter &statDirty_;
+    Counter &statSkipped_;
+    Counter &statStalls_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_RESIZE_MIGRATION_ENGINE_HH

@@ -1,0 +1,163 @@
+#include "resize/resize_controller.hh"
+
+#include "common/log.hh"
+
+namespace banshee {
+
+ResizeController::ResizeController(EventQueue &eq, OsServices &os,
+                                   const ResizeConfig &config)
+    : eq_(eq), os_(os), config_(config), policy_(config.policy),
+      stats_("resize"),
+      statStarted_(stats_.counter("resizesStarted")),
+      statCompleted_(stats_.counter("resizesCompleted")),
+      statEpochs_(stats_.counter("epochsEvaluated")),
+      statDeferred_(stats_.counter("decisionsDeferred"))
+{
+    sim_assert(config.enabled, "controller built with resize disabled");
+    // When the batch PTE update finishes, remap slots have been
+    // harvested from every tag buffer: resume stalled drains now.
+    os_.registerUpdateListener([this] {
+        for (auto &d : domains_)
+            d->engine().kick();
+    });
+}
+
+void
+ResizeController::addHost(ResizeHost &host, const std::string &name)
+{
+    domains_.push_back(
+        std::make_unique<ResizeDomain>(eq_, host, config_, name));
+    host.attachResizeDomain(domains_.back().get());
+}
+
+void
+ResizeController::onMeasureStart()
+{
+    epochIndex_ = 0;
+    prevAccesses_ = 0;
+    prevMisses_ = 0;
+    for (auto &d : domains_) {
+        prevAccesses_ += d->host().demandAccesses();
+        prevMisses_ += d->host().demandMisses();
+    }
+    eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
+}
+
+void
+ResizeController::epochTick()
+{
+    ++statEpochs_;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    for (auto &d : domains_) {
+        accesses += d->host().demandAccesses();
+        misses += d->host().demandMisses();
+    }
+    ResizeEpochStats epoch;
+    epoch.accesses = accesses - prevAccesses_;
+    epoch.misses = misses - prevMisses_;
+    prevAccesses_ = accesses;
+    prevMisses_ = misses;
+
+    const auto target = policy_.decide(epochIndex_, epoch, activeSlices(),
+                                       totalSlices());
+    if (target.has_value())
+        pendingTarget_ = *target;
+
+    // A target that arrives while a previous transition is still
+    // draining is deferred and retried every epoch until it applies
+    // (or becomes moot), so scheduled steps are never silently lost.
+    if (pendingTarget_.has_value()) {
+        if (*pendingTarget_ == activeSlices()) {
+            pendingTarget_.reset();
+        } else if (requestResize(*pendingTarget_)) {
+            pendingTarget_.reset();
+        } else {
+            ++statDeferred_;
+        }
+    }
+
+    ++epochIndex_;
+    if (!epochsStopped_)
+        eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
+}
+
+bool
+ResizeController::requestResize(std::uint32_t targetSlices)
+{
+    if (resizeInProgress() || targetSlices == activeSlices() ||
+        targetSlices < 1 || targetSlices > totalSlices()) {
+        return false;
+    }
+    ++statStarted_;
+    inform("resize: %u -> %u active slices (%s)", activeSlices(),
+           targetSlices, resizeStrategyName(config_.strategy));
+
+    pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
+    for (auto &d : domains_) {
+        d->resizeTo(targetSlices, [this] {
+            sim_assert(pendingDomains_ > 0, "stray drain completion");
+            if (--pendingDomains_ == 0) {
+                ++statCompleted_;
+                // Fold the transition's remaps into the PTEs promptly
+                // so TLBs reconverge on the new layout.
+                os_.requestResizeCommit();
+            }
+        });
+    }
+    return true;
+}
+
+void
+ResizeController::verifyResidencyConsistent()
+{
+    for (auto &d : domains_)
+        d->host().verifyResidencyConsistent();
+}
+
+void
+ResizeController::resetStats()
+{
+    stats_.reset();
+    for (auto &d : domains_)
+        d->engine().stats().reset();
+}
+
+std::uint64_t
+ResizeController::pagesMigrated() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->engine().pagesDrained();
+    return n;
+}
+
+std::uint64_t
+ResizeController::dirtyPagesMigrated() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->engine().dirtyPagesDrained();
+    return n;
+}
+
+std::uint64_t
+ResizeController::pagesSkipped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->engine().pagesSkipped();
+    return n;
+}
+
+std::uint64_t
+ResizeController::tagBufferStalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->engine().tagBufferStalls();
+    return n;
+}
+
+} // namespace banshee

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * System-wide coordination of DRAM-cache resizing.
+ *
+ * The controller owns one ResizeDomain per memory controller and an
+ * epoch clock on the event queue. Every epoch it samples the demand
+ * counters, asks the ResizePolicy for a target, and — when one comes
+ * back — starts the transition on every domain simultaneously (the
+ * slice layout must stay identical across controllers because pages
+ * stripe over them). It also bridges the OS cooperation loop: when a
+ * batch PTE update completes, stalled migration engines are kicked so
+ * the drain resumes immediately instead of waiting out its back-off.
+ */
+
+#ifndef BANSHEE_RESIZE_RESIZE_CONTROLLER_HH
+#define BANSHEE_RESIZE_RESIZE_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "os/os_services.hh"
+#include "resize/resize_config.hh"
+#include "resize/resize_domain.hh"
+#include "resize/resize_policy.hh"
+
+namespace banshee {
+
+class ResizeController
+{
+  public:
+    ResizeController(EventQueue &eq, OsServices &os,
+                     const ResizeConfig &config);
+
+    /** Register one scheme instance; builds and attaches its domain. */
+    void addHost(ResizeHost &host, const std::string &name);
+
+    std::size_t numDomains() const { return domains_.size(); }
+    ResizeDomain &domain(std::size_t i) { return *domains_[i]; }
+
+    /** Called at the warmup/measure boundary: reset the epoch clock
+     *  and begin evaluating the policy. */
+    void onMeasureStart();
+
+    /** Stop scheduling further epochs (tests drain the queue dry). */
+    void stopEpochs() { epochsStopped_ = true; }
+
+    /** Manually trigger a resize (external capacity manager). Returns
+     *  false if one is already in flight or the size would not change. */
+    bool requestResize(std::uint32_t targetSlices);
+
+    bool resizeInProgress() const { return pendingDomains_ > 0; }
+
+    std::uint32_t
+    activeSlices() const
+    {
+        return domains_.empty() ? config_.hash.numSlices
+                                : domains_[0]->activeSlices();
+    }
+
+    std::uint32_t totalSlices() const { return config_.hash.numSlices; }
+
+    /** Test hook: assert every domain's host is internally consistent. */
+    void verifyResidencyConsistent();
+
+    void resetStats();
+
+    // Aggregates over all domains' migration engines.
+    std::uint64_t pagesMigrated() const;
+    std::uint64_t dirtyPagesMigrated() const;
+    std::uint64_t pagesSkipped() const;
+    std::uint64_t tagBufferStalls() const;
+
+    std::uint64_t resizesStarted() const { return statStarted_.value(); }
+    std::uint64_t
+    resizesCompleted() const
+    {
+        return statCompleted_.value();
+    }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    void epochTick();
+
+    EventQueue &eq_;
+    OsServices &os_;
+    ResizeConfig config_;
+    ResizePolicy policy_;
+    std::vector<std::unique_ptr<ResizeDomain>> domains_;
+
+    std::uint64_t epochIndex_ = 0;
+    bool epochsStopped_ = false;
+    std::uint32_t pendingDomains_ = 0;
+    /** Policy target awaiting an idle engine (deferred, not dropped). */
+    std::optional<std::uint32_t> pendingTarget_;
+    std::uint64_t prevAccesses_ = 0;
+    std::uint64_t prevMisses_ = 0;
+
+    StatSet stats_;
+    Counter &statStarted_;
+    Counter &statCompleted_;
+    Counter &statEpochs_;
+    Counter &statDeferred_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_RESIZE_RESIZE_CONTROLLER_HH

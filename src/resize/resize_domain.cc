@@ -1,0 +1,65 @@
+#include "resize/resize_domain.hh"
+
+#include "common/log.hh"
+
+namespace banshee {
+
+ResizeDomain::ResizeDomain(EventQueue &eq, ResizeHost &host,
+                           const ResizeConfig &config, std::string name)
+    : host_(host), mapper_(config.hash),
+      engine_(eq, host, config.migration, name + ".engine"),
+      strategy_(config.strategy)
+{
+    const std::uint32_t numSets = host.numSets();
+    sim_assert(numSets % config.hash.numSlices == 0,
+               "sets (%u) not divisible into %u slices", numSets,
+               config.hash.numSlices);
+    setsPerSlice_ = numSets / config.hash.numSlices;
+}
+
+void
+ResizeDomain::resizeTo(std::uint32_t targetActive,
+                       std::function<void()> onDone)
+{
+    sim_assert(!engine_.active(), "resize while a drain is in flight");
+    sim_assert(targetActive >= 1 && targetActive <= mapper_.numSlices(),
+               "bad resize target %u", targetActive);
+    sim_assert(targetActive != mapper_.activeSlices(),
+               "resize to the current size");
+
+    // Flip slice activation first so the post-resize mapping is
+    // available while scanning for pages that must move.
+    if (targetActive < mapper_.activeSlices()) {
+        for (std::uint32_t s = mapper_.numSlices();
+             s-- > 0 && mapper_.activeSlices() > targetActive;) {
+            if (mapper_.isActive(s))
+                mapper_.setActive(s, false);
+        }
+    } else {
+        for (std::uint32_t s = 0;
+             s < mapper_.numSlices() && mapper_.activeSlices() < targetActive;
+             ++s) {
+            if (!mapper_.isActive(s))
+                mapper_.setActive(s, true);
+        }
+    }
+
+    // Queue every resident page whose home set changed (consistent
+    // hashing keeps that to ~K/N of residents); the FlushAll baseline
+    // drains everything, the way a mod-N indexed cache would have to.
+    host_.forEachResident([this](std::uint32_t set, std::uint32_t way,
+                                 PageNum page, bool dirty) {
+        (void)dirty;
+        const std::uint32_t slice = mapper_.sliceOf(page);
+        const bool moved = sliceOfSet(set) != slice;
+        if (strategy_ == ResizeStrategy::FlushAll || moved) {
+            pinned_[page] = set;
+            engine_.enqueue(set, way, page);
+        }
+    });
+
+    engine_.start([this](PageNum page) { pinned_.erase(page); },
+                  std::move(onDone));
+}
+
+} // namespace banshee

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-memory-controller resize state: slice-aware set mapping plus
+ * the migration engine that executes transitions.
+ *
+ * The controller's sets are split into numSlices contiguous groups.
+ * A page's home set is (slice base + hash % setsPerSlice) where the
+ * slice comes from the consistent-hash ring, so only pages whose
+ * slice assignment changes ever move. During a transition, pages
+ * queued for migration are *pinned* to their old set — demand hits
+ * and LLC writebacks keep finding them at their physical frame until
+ * the engine has written them back and published the un-mapping —
+ * which is what makes the drain safe to run concurrently with demand
+ * traffic instead of stopping the world.
+ */
+
+#ifndef BANSHEE_RESIZE_RESIZE_DOMAIN_HH
+#define BANSHEE_RESIZE_RESIZE_DOMAIN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/event_queue.hh"
+#include "resize/consistent_hash.hh"
+#include "resize/migration_engine.hh"
+#include "resize/resize_config.hh"
+#include "resize/resize_host.hh"
+
+namespace banshee {
+
+class ResizeDomain
+{
+  public:
+    ResizeDomain(EventQueue &eq, ResizeHost &host, const ResizeConfig &config,
+                 std::string name);
+
+    /**
+     * Resize-aware set index for @p page. @p mixedHash is the
+     * scheme's existing page-placement hash, reused as the offset
+     * within the slice so the no-resize layout and the 1-slice layout
+     * spread pages identically.
+     */
+    std::uint32_t
+    setOf(PageNum page, std::uint64_t mixedHash) const
+    {
+        auto pin = pinned_.find(page);
+        if (pin != pinned_.end())
+            return pin->second;
+        const std::uint32_t slice = mapper_.sliceOf(page);
+        return slice * setsPerSlice_ +
+               static_cast<std::uint32_t>(mixedHash % setsPerSlice_);
+    }
+
+    /** True while a transition's drain is still in flight. */
+    bool migrationActive() const { return engine_.active(); }
+
+    std::uint32_t activeSlices() const { return mapper_.activeSlices(); }
+    std::uint32_t totalSlices() const { return mapper_.numSlices(); }
+    std::uint32_t setsPerSlice() const { return setsPerSlice_; }
+
+    bool
+    sliceActive(std::uint32_t slice) const
+    {
+        return mapper_.isActive(slice);
+    }
+
+    /** Slice owning set @p setIdx (layout, not ring). */
+    std::uint32_t
+    sliceOfSet(std::uint32_t setIdx) const
+    {
+        return setIdx / setsPerSlice_;
+    }
+
+    /**
+     * Start a transition to @p targetActive slices; @p onDone fires
+     * when the drain completes. Shrinks deactivate the highest-id
+     * active slices, grows reactivate the lowest-id inactive ones, so
+     * schedules are deterministic.
+     */
+    void resizeTo(std::uint32_t targetActive, std::function<void()> onDone);
+
+    /** A frame left the cache through normal replacement; drop any
+     *  pin so future accesses use the page's new home set. */
+    void
+    notifyFrameEvicted(PageNum page)
+    {
+        pinned_.erase(page);
+    }
+
+    MigrationEngine &engine() { return engine_; }
+    const MigrationEngine &engine() const { return engine_; }
+    const ConsistentHashMapper &mapper() const { return mapper_; }
+    ResizeHost &host() { return host_; }
+
+  private:
+    ResizeHost &host_;
+    ConsistentHashMapper mapper_;
+    MigrationEngine engine_;
+    ResizeStrategy strategy_;
+    std::uint32_t setsPerSlice_;
+    /** Pages awaiting migration -> the old set they still occupy. */
+    std::unordered_map<PageNum, std::uint32_t> pinned_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_RESIZE_RESIZE_DOMAIN_HH

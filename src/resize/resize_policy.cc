@@ -1,0 +1,38 @@
+#include "resize/resize_policy.hh"
+
+#include <algorithm>
+
+namespace banshee {
+
+std::optional<std::uint32_t>
+ResizePolicy::decide(std::uint64_t epochIndex, const ResizeEpochStats &stats,
+                     std::uint32_t activeSlices,
+                     std::uint32_t totalSlices) const
+{
+    if (config_.kind == ResizePolicyConfig::Kind::Schedule) {
+        for (const ResizeStep &step : config_.schedule) {
+            if (step.epoch != epochIndex)
+                continue;
+            const std::uint32_t target =
+                std::clamp<std::uint32_t>(step.targetSlices, 1, totalSlices);
+            if (target != activeSlices)
+                return target;
+        }
+        return std::nullopt;
+    }
+
+    // Adaptive: need a statistically meaningful epoch to act.
+    if (stats.accesses < config_.minEpochAccesses)
+        return std::nullopt;
+
+    const double missRate = stats.missRate();
+    if (missRate < config_.shrinkMissRate &&
+        activeSlices > std::max<std::uint32_t>(config_.minSlices, 1)) {
+        return activeSlices - 1;
+    }
+    if (missRate > config_.growMissRate && activeSlices < totalSlices)
+        return activeSlices + 1;
+    return std::nullopt;
+}
+
+} // namespace banshee

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Epoch-driven resize decisions.
+ *
+ * Once per epoch the controller feeds the policy the demand-access
+ * delta observed across all memory controllers. Schedule mode
+ * replays a scripted list of (epoch, target) steps — the mode benches
+ * and external capacity managers (power capping, multi-tenant quota)
+ * use. Adaptive mode is stats-fed: a near-zero miss rate means the
+ * working set fits comfortably and slices can be powered down; a high
+ * miss rate means the cache is thrashing and should grow back.
+ */
+
+#ifndef BANSHEE_RESIZE_RESIZE_POLICY_HH
+#define BANSHEE_RESIZE_RESIZE_POLICY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "resize/resize_config.hh"
+
+namespace banshee {
+
+/** Demand-traffic delta over one epoch, summed over all MCs. */
+struct ResizeEpochStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+class ResizePolicy
+{
+  public:
+    explicit ResizePolicy(const ResizePolicyConfig &config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Decide the target active-slice count for @p epochIndex, or
+     * nullopt to stay put. Pure function of its inputs.
+     */
+    std::optional<std::uint32_t> decide(std::uint64_t epochIndex,
+                                        const ResizeEpochStats &stats,
+                                        std::uint32_t activeSlices,
+                                        std::uint32_t totalSlices) const;
+
+    const ResizePolicyConfig &config() const { return config_; }
+
+  private:
+    ResizePolicyConfig config_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_RESIZE_RESIZE_POLICY_HH

@@ -71,6 +71,26 @@ schemeSweep(const SystemConfig &base, const std::string &workload)
     return exps;
 }
 
+std::vector<Experiment>
+resizeSweep(const SystemConfig &base, const std::string &workload,
+            std::uint64_t epoch, std::uint32_t targetSlices)
+{
+    SystemConfig none = base;
+    none.workload = workload;
+    none.withScheme(SchemeKind::Banshee);
+    none.resize.enabled = false;
+    none.resize.policy.schedule.clear();
+
+    SystemConfig ch = none;
+    ch.withResizeStep(epoch, targetSlices, ResizeStrategy::ConsistentHash);
+    SystemConfig flush = none;
+    flush.withResizeStep(epoch, targetSlices, ResizeStrategy::FlushAll);
+
+    return {Experiment{workload + "/NoResize", none},
+            Experiment{workload + "/CH-resize", ch},
+            Experiment{workload + "/Flush-resize", flush}};
+}
+
 double
 geomean(const std::vector<double> &values)
 {
@@ -78,10 +98,12 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double logSum = 0.0;
     for (double v : values) {
-        sim_assert(v > 0.0, "geomean needs positive values");
+        sim_assert(v >= 0.0, "geomean needs non-negative values");
+        if (v == 0.0)
+            return 0.0; // the limit of (prod)^(1/n) with a zero factor
         logSum += std::log(v);
     }
-    return std::exp(logSum / values.size());
+    return std::exp(logSum / static_cast<double>(values.size()));
 }
 
 } // namespace banshee

@@ -38,7 +38,23 @@ std::vector<RunResult> runExperiments(const std::vector<Experiment> &exps,
 std::vector<Experiment> schemeSweep(const SystemConfig &base,
                                     const std::string &workload);
 
-/** Geometric mean helper (the paper's average bars). */
+/**
+ * Build the resize comparison for one workload: Banshee with no
+ * resize, with a consistent-hash resize, and with a naive flush
+ * resize — all shrinking to @p targetSlices at measured-phase epoch
+ * @p epoch. Resize knobs (slices, epoch length, migration rate) come
+ * from @p base.resize.
+ */
+std::vector<Experiment> resizeSweep(const SystemConfig &base,
+                                    const std::string &workload,
+                                    std::uint64_t epoch,
+                                    std::uint32_t targetSlices);
+
+/**
+ * Geometric mean helper (the paper's average bars). Defined as 0 for
+ * an empty input and whenever any value is 0 (the mathematical
+ * limit); values must not be negative.
+ */
 double geomean(const std::vector<double> &values);
 
 } // namespace banshee

@@ -94,6 +94,18 @@ System::System(const SystemConfig &config) : config_(config)
     };
     mem_->buildSchemes(factory, pageTable_.get(), os_.get(), config.seed);
 
+    if (config.resize.enabled) {
+        resize_ = std::make_unique<ResizeController>(eq_, *os_,
+                                                     config.resize);
+        for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc) {
+            ResizeHost *host = mem_->scheme(mc).resizeHost();
+            sim_assert(host != nullptr,
+                       "resize enabled but scheme '%s' cannot resize",
+                       schemeKindName(config.scheme));
+            resize_->addHost(*host, "resize" + std::to_string(mc));
+        }
+    }
+
     HierarchyParams hp = config.hierarchy;
     hp.numCores = config.numCores;
     hierarchy_ = std::make_unique<CacheHierarchy>(hp, *mem_);
@@ -147,6 +159,8 @@ System::resetAllStats()
     hierarchy_->resetStats();
     os_->stats().reset();
     pageTable_->stats().reset();
+    if (resize_)
+        resize_->resetStats();
     for (auto &core : cores_)
         core->stats().reset();
     for (auto &tlb : tlbs_)
@@ -160,6 +174,10 @@ System::run()
     if (config_.warmupInstrPerCore > 0)
         runPhase(config_.warmupInstrPerCore);
     resetAllStats();
+    // The resize epoch clock runs over the measured phase only, so
+    // scripted schedules are phase-relative and deterministic.
+    if (resize_)
+        resize_->onMeasureStart();
 
     std::vector<Cycle> startCycle(config_.numCores);
     std::vector<std::uint64_t> startInstr(config_.numCores);
@@ -238,6 +256,15 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
             r.replacementsBlocked +=
                 s.stats().value("replacementsBlocked");
         }
+    }
+
+    if (resize_) {
+        r.resizesStarted = resize_->resizesStarted();
+        r.resizesCompleted = resize_->resizesCompleted();
+        r.pagesMigrated = resize_->pagesMigrated();
+        r.dirtyPagesMigrated = resize_->dirtyPagesMigrated();
+        r.migrationTagStalls = resize_->tagBufferStalls();
+        r.finalActiveSlices = resize_->activeSlices();
     }
     return r;
 }

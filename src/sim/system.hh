@@ -27,6 +27,7 @@
 #include "mem/mem_system.hh"
 #include "os/os_services.hh"
 #include "os/page_table.hh"
+#include "resize/resize_controller.hh"
 #include "schemes/batman.hh"
 #include "sim/system_config.hh"
 #include "workload/pattern.hh"
@@ -63,6 +64,14 @@ struct RunResult
     std::uint64_t tagBufferMisses = 0;
     std::uint64_t replacementsBlocked = 0;
 
+    // Dynamic-resize transition statistics (zero when disabled).
+    std::uint64_t resizesStarted = 0;
+    std::uint64_t resizesCompleted = 0;
+    std::uint64_t pagesMigrated = 0;
+    std::uint64_t dirtyPagesMigrated = 0;
+    std::uint64_t migrationTagStalls = 0;
+    std::uint32_t finalActiveSlices = 0;
+
     double inPkgBpi(TrafficCat c) const;
     double offPkgBpi(TrafficCat c) const;
     double inPkgTotalBpi() const;
@@ -91,6 +100,9 @@ class System
     Tlb &tlb(CoreId id) { return *tlbs_[id]; }
     const SystemConfig &config() const { return config_; }
 
+    /** Resize coordination, or nullptr when resizing is disabled. */
+    ResizeController *resizeController() { return resize_.get(); }
+
     /** Zero every statistic (called at the warmup boundary). */
     void resetAllStats();
 
@@ -108,6 +120,7 @@ class System
     std::unique_ptr<OsServices> os_;
     std::unique_ptr<MemSystem> mem_;
     std::unique_ptr<BatmanController> batman_;
+    std::unique_ptr<ResizeController> resize_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Tlb>> tlbs_;
     std::vector<std::unique_ptr<AccessPattern>> patterns_;

@@ -82,4 +82,15 @@ SystemConfig::withAlloyFillProb(double p)
     return *this;
 }
 
+SystemConfig &
+SystemConfig::withResizeStep(std::uint64_t epoch, std::uint32_t targetSlices,
+                             ResizeStrategy strategy)
+{
+    resize.enabled = true;
+    resize.strategy = strategy;
+    resize.policy.kind = ResizePolicyConfig::Kind::Schedule;
+    resize.policy.schedule.push_back(ResizeStep{epoch, targetSlices});
+    return *this;
+}
+
 } // namespace banshee

@@ -24,6 +24,7 @@
 #include "cpu/tlb.hh"
 #include "mem/mem_system.hh"
 #include "os/os_services.hh"
+#include "resize/resize_config.hh"
 #include "schemes/alloy.hh"
 #include "schemes/batman.hh"
 #include "schemes/hma.hh"
@@ -64,6 +65,9 @@ struct SystemConfig
     bool enableBatman = false;
     BatmanParams batman;
 
+    /** Dynamic DRAM-cache resizing (Banshee scheme only). */
+    ResizeConfig resize;
+
     // Workload + run control.
     std::string workload = "pagerank";
     double footprintScale = 1.0;
@@ -85,6 +89,15 @@ struct SystemConfig
 
     /** Convenience for Alloy-1 vs Alloy-0.1. */
     SystemConfig &withAlloyFillProb(double p);
+
+    /**
+     * Enable resizing with a scripted schedule: shrink/grow to
+     * @p targetSlices at measured-phase epoch @p epoch.
+     */
+    SystemConfig &withResizeStep(std::uint64_t epoch,
+                                 std::uint32_t targetSlices,
+                                 ResizeStrategy strategy =
+                                     ResizeStrategy::ConsistentHash);
 };
 
 } // namespace banshee

@@ -214,5 +214,14 @@ TEST(Runner, GeomeanBasics)
     EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
 }
 
+TEST(Runner, GeomeanHandlesEmptyAndZeroWithoutNan)
+{
+    // Degenerate inputs are defined, finite results — not NaN/UB.
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, 4.0, 9.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
 } // namespace
 } // namespace banshee
