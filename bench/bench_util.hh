@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared plumbing for the bench binaries: run-length presets, CLI
- * parsing (--quick / --full / --workloads a,b,c), and result lookup.
+ * parsing (--quick / --full / --workloads a,b,c / --json path), and
+ * result lookup.
  */
 
 #ifndef BANSHEE_BENCH_BENCH_UTIL_HH
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/system_config.hh"
 #include "workload/workloads.hh"
@@ -22,7 +24,12 @@ struct BenchOptions
 {
     SystemConfig base = SystemConfig::scaledDefault();
     std::vector<std::string> workloads = WorkloadFactory::paperNames();
+    /** True when --workloads was given (benches with their own
+     *  defaults only override the list when the user did not). */
+    bool workloadsExplicit = false;
     unsigned threads = 0;
+    /** Empty = no JSON output. */
+    std::string jsonPath;
 };
 
 /**
@@ -31,11 +38,20 @@ struct BenchOptions
  *   --full           paper-sized system (1 GB cache, long runs)
  *   --workloads a,b  restrict the workload list
  *   --threads N      worker threads
+ *   --json path      also emit machine-readable results (BENCH_*.json)
  */
 inline BenchOptions
 parseArgs(int argc, char **argv)
 {
     BenchOptions opt;
+    auto usage = [argv](const char *why) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], why);
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--full] "
+                     "[--workloads a,b,c] [--threads N] [--json path]\n",
+                     argv[0]);
+        std::exit(1);
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -45,27 +61,47 @@ parseArgs(int argc, char **argv)
             opt.base = SystemConfig::paperDefault();
         } else if (arg == "--workloads" && i + 1 < argc) {
             opt.workloads.clear();
+            opt.workloadsExplicit = true;
             std::string list = argv[++i];
             std::size_t pos = 0;
-            while (pos != std::string::npos) {
+            // Split on commas, skipping empty tokens so stray commas
+            // ("a,", "a,,b") do not inject an unknown-workload fault.
+            while (pos < list.size()) {
                 const std::size_t comma = list.find(',', pos);
-                opt.workloads.push_back(
-                    list.substr(pos, comma == std::string::npos
-                                         ? comma
-                                         : comma - pos));
-                pos = comma == std::string::npos ? comma : comma + 1;
+                const std::size_t end =
+                    comma == std::string::npos ? list.size() : comma;
+                if (end > pos)
+                    opt.workloads.push_back(list.substr(pos, end - pos));
+                pos = end + 1;
             }
+            if (opt.workloads.empty())
+                usage("--workloads needs at least one workload name");
         } else if (arg == "--threads" && i + 1 < argc) {
             opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--full] "
-                         "[--workloads a,b,c] [--threads N]\n",
-                         argv[0]);
-            std::exit(1);
+            usage("unknown or incomplete argument");
         }
     }
     return opt;
+}
+
+/** Emit BENCH_*.json when --json was given (shared by every bench). */
+inline void
+maybeWriteJson(const BenchOptions &opt, const std::string &bench,
+               const std::vector<Experiment> &exps,
+               const std::vector<RunResult> &results)
+{
+    if (opt.jsonPath.empty())
+        return;
+    std::vector<std::string> labels;
+    labels.reserve(exps.size());
+    for (const auto &e : exps)
+        labels.push_back(e.label);
+    writeResultsJson(opt.jsonPath, bench, labels, results);
+    std::printf("\n[json] wrote %zu results to %s\n", results.size(),
+                opt.jsonPath.c_str());
 }
 
 /** Index results of a sweep by (workload, scheme-label suffix). */

@@ -71,5 +71,6 @@ main(int argc, char **argv)
     std::printf("Banshee vs Alloy    : %+.1f%%  (paper: +15.0%% vs best "
                 "Alloy)\n",
                 100.0 * (banshee / alloyBest - 1.0));
+    maybeWriteJson(opt, "fig4_speedup", exps, results);
     return 0;
 }

@@ -10,10 +10,10 @@ namespace banshee {
 //
 
 DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
-                         TrafficStats &traffic, StatSet &stats,
-                         std::string name)
-    : eq_(eq), timing_(timing), traffic_(traffic), name_(std::move(name)),
-      banks_(timing.numBanks),
+                         TrafficStats &traffic, DramPowerModel &power,
+                         StatSet &stats, std::string name)
+    : eq_(eq), timing_(timing), traffic_(traffic), power_(power),
+      name_(std::move(name)), banks_(timing.numBanks),
       statReqs_(stats.counter(name_ + ".requests")),
       statRowHits_(stats.counter(name_ + ".rowHits")),
       statRowConflicts_(stats.counter(name_ + ".rowConflicts")),
@@ -129,6 +129,7 @@ DramChannel::issue(Pending p)
         casTime = start + timing_.toCore(timing_.scaledRCD());
         bank.lastActStart = start;
         bank.openRow = row;
+        power_.onActivate(p.req.cat);
     } else {
         const Cycle rasDone =
             bank.lastActStart + timing_.toCore(timing_.scaledRAS());
@@ -138,7 +139,9 @@ DramChannel::issue(Pending p)
         bank.lastActStart = actStart;
         bank.openRow = row;
         ++statRowConflicts_;
+        power_.onActivate(p.req.cat);
     }
+    power_.onBurst(p.req.bytes, p.req.tagBytes, p.req.isWrite, p.req.cat);
 
     const Cycle dataReady = casTime + timing_.toCore(timing_.scaledCAS());
     const Cycle transfer =
@@ -148,6 +151,7 @@ DramChannel::issue(Pending p)
 
     busFree_ = complete;
     busBusyCycles_ += transfer;
+    power_.onBusBusy(transfer);
     // CAS commands pipeline: the bank accepts the next column access
     // one burst slot after this one issued (tCCD ~= burst length),
     // so consecutive row hits stream at full bus bandwidth while the
@@ -189,14 +193,16 @@ DramChannel::kick()
 //
 
 DramModel::DramModel(EventQueue &eq, DramTiming timing,
-                     std::uint32_t numChannels, std::string name)
-    : eq_(eq), timing_(timing), name_(std::move(name)), stats_(name_)
+                     std::uint32_t numChannels, std::string name,
+                     DramPowerParams powerParams)
+    : eq_(eq), timing_(timing), name_(std::move(name)), stats_(name_),
+      power_(powerParams, timing_, numChannels, stats_)
 {
     sim_assert(numChannels > 0, "DRAM device needs >= 1 channel");
     channels_.reserve(numChannels);
     for (std::uint32_t c = 0; c < numChannels; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
-            eq_, timing_, traffic_, stats_,
+            eq_, timing_, traffic_, power_, stats_,
             "ch" + std::to_string(c)));
     }
 }
@@ -250,6 +256,7 @@ DramModel::resetStats()
 {
     traffic_.reset();
     stats_.reset();
+    power_.resetStats(eq_.now());
     for (auto &ch : channels_)
         ch->resetStats();
 }

@@ -30,6 +30,8 @@
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 #include "dram/traffic.hh"
+#include "power/power_model.hh"
+#include "power/power_params.hh"
 
 namespace banshee {
 
@@ -54,7 +56,7 @@ class DramChannel
 {
   public:
     DramChannel(EventQueue &eq, const DramTiming &timing, TrafficStats &traffic,
-                StatSet &stats, std::string name);
+                DramPowerModel &power, StatSet &stats, std::string name);
 
     /** Enqueue a request; it becomes eligible immediately. */
     void push(DramRequest req);
@@ -103,6 +105,7 @@ class DramChannel
     EventQueue &eq_;
     const DramTiming &timing_;
     TrafficStats &traffic_;
+    DramPowerModel &power_;
     std::string name_;
 
     std::vector<Bank> banks_;
@@ -136,7 +139,8 @@ class DramModel
 {
   public:
     DramModel(EventQueue &eq, DramTiming timing, std::uint32_t numChannels,
-              std::string name);
+              std::string name,
+              DramPowerParams powerParams = DramPowerParams::inPackage());
 
     /** Issue a request on an explicit channel. */
     void
@@ -166,6 +170,10 @@ class DramModel
 
     const TrafficStats &traffic() const { return traffic_; }
 
+    /** State-based energy accounting for this device. */
+    DramPowerModel &power() { return power_; }
+    const DramPowerModel &power() const { return power_; }
+
     /** Aggregate data-bus utilization over @p elapsed core cycles. */
     double busUtilization(Cycle elapsed) const;
 
@@ -191,6 +199,7 @@ class DramModel
     std::string name_;
     TrafficStats traffic_;
     StatSet stats_;
+    DramPowerModel power_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
 };
 

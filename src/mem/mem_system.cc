@@ -13,11 +13,13 @@ MemSystem::MemSystem(EventQueue &eq, const MemSystemParams &params)
 {
     if (params_.hasInPkg) {
         inPkg_ = std::make_unique<DramModel>(eq_, params_.inPkgTiming,
-                                             params_.numMcs, "inPkg");
+                                             params_.numMcs, "inPkg",
+                                             params_.inPkgPower);
     }
     if (params_.hasOffPkg) {
         offPkg_ = std::make_unique<DramModel>(
-            eq_, params_.offPkgTiming, params_.numOffPkgChannels, "offPkg");
+            eq_, params_.offPkgTiming, params_.numOffPkgChannels, "offPkg",
+            params_.offPkgPower);
     }
     sim_assert(inPkg_ || offPkg_, "memory system needs at least one DRAM");
 }

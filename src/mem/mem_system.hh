@@ -33,6 +33,10 @@ struct MemSystemParams
     std::uint32_t mcStripeBits = kPageBits;
     DramTiming inPkgTiming;
     DramTiming offPkgTiming;
+    /** Energy knobs (see power/power_params.hh): die-stacked device
+     *  vs DDR pins differ mainly in interface pJ/bit. */
+    DramPowerParams inPkgPower = DramPowerParams::inPackage();
+    DramPowerParams offPkgPower = DramPowerParams::offPackage();
     bool hasInPkg = true;   ///< false for NoCache
     bool hasOffPkg = true;  ///< false for CacheOnly
 };

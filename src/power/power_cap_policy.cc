@@ -1,0 +1,44 @@
+#include "power/power_cap_policy.hh"
+
+#include <algorithm>
+
+namespace banshee {
+
+std::optional<std::uint32_t>
+PowerCapPolicy::decide(const ResizeEpochStats &stats,
+                       std::uint32_t activeSlices,
+                       std::uint32_t totalSlices) const
+{
+    if (config_.powerCapWatts <= 0.0)
+        return std::nullopt;
+
+    // What one active slice contributes in gateable power. When the
+    // measurement has no background component (e.g. the first epoch
+    // after a reset), shedding a slice cannot save anything — hold.
+    const double perSliceWatts =
+        activeSlices == 0 ? 0.0
+                          : stats.bgRefreshWatts /
+                                static_cast<double>(activeSlices);
+    if (perSliceWatts <= 0.0)
+        return std::nullopt;
+
+    const std::uint32_t floor =
+        std::max<std::uint32_t>(config_.minSlices, 1);
+    if (stats.avgPowerWatts > config_.powerCapWatts &&
+        activeSlices > floor) {
+        return activeSlices - 1;
+    }
+
+    // Grow only with hysteresis headroom: re-enabling a slice adds
+    // its background share back, and the margin keeps a small power
+    // rise from immediately re-shedding it.
+    const double afterGrow =
+        stats.avgPowerWatts +
+        perSliceWatts * (1.0 + config_.powerGrowMargin);
+    if (activeSlices < totalSlices && afterGrow <= config_.powerCapWatts)
+        return activeSlices + 1;
+
+    return std::nullopt;
+}
+
+} // namespace banshee

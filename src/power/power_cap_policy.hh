@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Watt-budget resize policy: pick the DRAM-cache slice count from a
+ * power cap using the power model's running average (the external
+ * capacity manager the schedule/adaptive modes were built to serve).
+ *
+ * Once per epoch the controller feeds it the in-package device's mean
+ * power and the background+refresh share over that epoch. While the
+ * device is over the cap the policy sheds one slice per epoch (each
+ * deactivated slice gates its share of background+refresh power);
+ * it grows a slice back only when doing so would still leave the
+ * device under the cap with a hysteresis margin of the per-slice
+ * power, so the slice count converges instead of oscillating around
+ * the budget.
+ */
+
+#ifndef BANSHEE_POWER_POWER_CAP_POLICY_HH
+#define BANSHEE_POWER_POWER_CAP_POLICY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "resize/resize_config.hh"
+
+namespace banshee {
+
+class PowerCapPolicy
+{
+  public:
+    explicit PowerCapPolicy(const ResizePolicyConfig &config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Target active-slice count for this epoch, or nullopt to stay
+     * put. Pure function of its inputs (testable without a system).
+     */
+    std::optional<std::uint32_t> decide(const ResizeEpochStats &stats,
+                                        std::uint32_t activeSlices,
+                                        std::uint32_t totalSlices) const;
+
+  private:
+    ResizePolicyConfig config_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_POWER_POWER_CAP_POLICY_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DRAM power parameters: IDD-style operating currents plus interface
+ * energy, in the Micron datasheet / DRAMPower tradition.
+ *
+ * A channel is modeled as one rank's worth of devices. Per-operation
+ * energies are not stored here; DramPowerModel derives them from
+ * these currents and the channel's DramTiming (so a Figure-8 latency
+ * sweep automatically changes activate energy with tRAS/tRP):
+ *
+ *  - ACT+PRE pair:  VDD * (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS))
+ *  - read burst:    VDD * (IDD4R - IDD3N) per data-bus cycle
+ *  - write burst:   VDD * (IDD4W - IDD3N) per data-bus cycle
+ *  - refresh:       VDD * (IDD5 - IDD2N) * tRFC/tREFI, a constant
+ *                   average power per channel
+ *  - background:    VDD * IDD2N precharge-standby floor, plus the
+ *                   active-standby delta VDD * (IDD3N - IDD2N)
+ *                   charged over cycles the channel moves data
+ *
+ * plus ioPJPerBit for driving the interface, the term that separates
+ * in-package (wide, short, ~4 pJ/bit) from off-package (DDR pins,
+ * ~15 pJ/bit) DRAM — the paper's energy argument lives in that gap.
+ */
+
+#ifndef BANSHEE_POWER_POWER_PARAMS_HH
+#define BANSHEE_POWER_POWER_PARAMS_HH
+
+namespace banshee {
+
+struct DramPowerParams
+{
+    /** Supply voltage (V). */
+    double vdd = 1.5;
+
+    // Operating currents in mA (DDR3-1333 2 Gb x8 rank equivalents).
+    double idd0 = 70.0;   ///< ACT-PRE cycling
+    double idd2n = 45.0;  ///< precharge standby
+    double idd3n = 62.0;  ///< active standby
+    double idd4r = 180.0; ///< read burst
+    double idd4w = 185.0; ///< write burst
+    double idd5 = 215.0;  ///< refresh burst
+
+    /** Average refresh interval (ns) — one REF per tREFI. */
+    double tRefiNs = 7800.0;
+    /** Refresh cycle time (ns). */
+    double tRfcNs = 160.0;
+
+    /** Interface (I/O + termination) energy per transferred bit (pJ). */
+    double ioPJPerBit = 4.0;
+
+    /** Die-stacked in-package device: short wide interface. */
+    static DramPowerParams
+    inPackage()
+    {
+        return DramPowerParams{};
+    }
+
+    /** Off-package DDR channel: pin drivers + board trace + ODT. */
+    static DramPowerParams
+    offPackage()
+    {
+        DramPowerParams p;
+        p.ioPJPerBit = 15.0;
+        return p;
+    }
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_POWER_POWER_PARAMS_HH

@@ -62,12 +62,38 @@ struct ResizeStep
     std::uint32_t targetSlices = 0; ///< active slices to resize to
 };
 
+/**
+ * What the controller observed over one epoch, summed over all MCs:
+ * the demand-traffic delta plus the in-package device's mean power
+ * (zero when no power model is attached).
+ */
+struct ResizeEpochStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Mean in-package device power over the epoch (W). */
+    double avgPowerWatts = 0.0;
+    /** Background + refresh share of @c avgPowerWatts (W) — the part
+     *  slice gating can actually shed. */
+    double bgRefreshWatts = 0.0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
 struct ResizePolicyConfig
 {
     enum class Kind : std::uint8_t
     {
         Schedule, ///< scripted steps (benches, tests, external control)
-        Adaptive  ///< stats-fed: shrink when cold, grow when thrashing
+        Adaptive, ///< stats-fed: shrink when cold, grow when thrashing
+        PowerCap  ///< watt budget (see power/power_cap_policy.hh)
     };
 
     Kind kind = Kind::Schedule;
@@ -87,6 +113,12 @@ struct ResizePolicyConfig
     std::uint32_t minSlices = 1;
     /** Ignore epochs with fewer demand accesses than this (noise). */
     std::uint64_t minEpochAccesses = 1000;
+
+    // Power-cap knobs (Kind::PowerCap).
+    /** In-package device power budget (W); <= 0 disables the cap. */
+    double powerCapWatts = 0.0;
+    /** Grow hysteresis as a fraction of one slice's power share. */
+    double powerGrowMargin = 1.0;
 };
 
 struct ResizeConfig

@@ -1,6 +1,7 @@
 #include "resize/resize_controller.hh"
 
 #include "common/log.hh"
+#include "common/units.hh"
 
 namespace banshee {
 
@@ -31,6 +32,16 @@ ResizeController::addHost(ResizeHost &host, const std::string &name)
 }
 
 void
+ResizeController::attachPowerModel(DramPowerModel *power)
+{
+    power_ = power;
+    if (power_) {
+        power_->setGatedSliceFraction(gatedFractionFor(activeSlices()),
+                                      eq_.now());
+    }
+}
+
+void
 ResizeController::onMeasureStart()
 {
     epochIndex_ = 0;
@@ -40,6 +51,11 @@ ResizeController::onMeasureStart()
         prevAccesses_ += d->host().demandAccesses();
         prevMisses_ += d->host().demandMisses();
     }
+    // The measure boundary zeroes the power model's accumulators
+    // (System::resetAllStats), so epoch energy deltas restart at 0.
+    prevTotalPJ_ = 0.0;
+    prevBgRefPJ_ = 0.0;
+    ewmaValid_ = false;
     eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
 }
 
@@ -60,10 +76,43 @@ ResizeController::epochTick()
     prevAccesses_ = accesses;
     prevMisses_ = misses;
 
+    if (power_) {
+        const double totalPJ = power_->totalEnergyPJ(eq_.now());
+        const double bgRefPJ = power_->energy().backgroundPJ() +
+                               power_->energy().refreshPJ();
+        const double epochNs = static_cast<double>(config_.policy.epoch) *
+                               1e9 / kCoreFreqHz;
+        // pJ / ns = mW.
+        const double rawWatts =
+            (totalPJ - prevTotalPJ_) / epochNs * 1e-3;
+        epoch.bgRefreshWatts = (bgRefPJ - prevBgRefPJ_) / epochNs * 1e-3;
+        prevTotalPJ_ = totalPJ;
+        prevBgRefPJ_ = bgRefPJ;
+        ewmaPowerWatts_ = ewmaValid_
+                              ? kPowerEwmaAlpha * rawWatts +
+                                    (1.0 - kPowerEwmaAlpha) *
+                                        ewmaPowerWatts_
+                              : rawWatts;
+        ewmaValid_ = true;
+        epoch.avgPowerWatts = ewmaPowerWatts_;
+    }
+
     const auto target = policy_.decide(epochIndex_, epoch, activeSlices(),
                                        totalSlices());
-    if (target.has_value())
-        pendingTarget_ = *target;
+    if (config_.policy.kind == ResizePolicyConfig::Kind::Schedule) {
+        if (target.has_value())
+            pendingTarget_ = *target;
+    } else {
+        // Incremental policies (Adaptive, PowerCap) re-decide from
+        // fresh measurements every epoch: carrying a stale target
+        // across a drain would overshoot the steady state, and epochs
+        // measured mid-transition (or before the smoothed reading has
+        // settled on the new layout) are transitional — hold.
+        const bool settling = resizeInProgress() || holdEpochs_ > 0;
+        if (holdEpochs_ > 0)
+            --holdEpochs_;
+        pendingTarget_ = settling ? std::nullopt : target;
+    }
 
     // A target that arrives while a previous transition is still
     // draining is deferred and retried every epoch until it applies
@@ -94,12 +143,30 @@ ResizeController::requestResize(std::uint32_t targetSlices)
     inform("resize: %u -> %u active slices (%s)", activeSlices(),
            targetSlices, resizeStrategyName(config_.strategy));
 
+    // Growing? The incoming slices must power up (and refresh) before
+    // any data lands in them. Shrinking slices stay powered until the
+    // drain finishes — they hold live data throughout.
+    if (power_ && targetSlices > activeSlices()) {
+        power_->setGatedSliceFraction(gatedFractionFor(targetSlices),
+                                      eq_.now());
+    }
+
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
     for (auto &d : domains_) {
         d->resizeTo(targetSlices, [this] {
             sim_assert(pendingDomains_ > 0, "stray drain completion");
             if (--pendingDomains_ == 0) {
                 ++statCompleted_;
+                holdEpochs_ = kSettleEpochs;
+                // Reseed the running average: samples taken under the
+                // old slice layout (and the drain's migration bursts)
+                // would otherwise dominate the slow EWMA for ~1/alpha
+                // epochs and drive redundant decisions.
+                ewmaValid_ = false;
+                if (power_) {
+                    power_->setGatedSliceFraction(
+                        gatedFractionFor(activeSlices()), eq_.now());
+                }
                 // Fold the transition's remaps into the PTEs promptly
                 // so TLBs reconverge on the new layout.
                 os_.requestResizeCommit();

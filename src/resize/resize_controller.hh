@@ -4,12 +4,20 @@
  *
  * The controller owns one ResizeDomain per memory controller and an
  * epoch clock on the event queue. Every epoch it samples the demand
- * counters, asks the ResizePolicy for a target, and — when one comes
- * back — starts the transition on every domain simultaneously (the
- * slice layout must stay identical across controllers because pages
- * stripe over them). It also bridges the OS cooperation loop: when a
- * batch PTE update completes, stalled migration engines are kicked so
- * the drain resumes immediately instead of waiting out its back-off.
+ * counters (and, when a power model is attached, the in-package
+ * device's epoch power), asks the ResizePolicy for a target, and —
+ * when one comes back — starts the transition on every domain
+ * simultaneously (the slice layout must stay identical across
+ * controllers because pages stripe over them). It also bridges the OS
+ * cooperation loop: when a batch PTE update completes, stalled
+ * migration engines are kicked so the drain resumes immediately
+ * instead of waiting out its back-off.
+ *
+ * Power gating: the controller drives the power model's gated-slice
+ * fraction in both directions — a grow powers its slices up the
+ * moment the transition starts (they must refresh before data lands),
+ * a shrink powers its slices down only when the drain completes (they
+ * hold live data until then).
  */
 
 #ifndef BANSHEE_RESIZE_RESIZE_CONTROLLER_HH
@@ -24,6 +32,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "os/os_services.hh"
+#include "power/power_model.hh"
 #include "resize/resize_config.hh"
 #include "resize/resize_domain.hh"
 #include "resize/resize_policy.hh"
@@ -38,6 +47,14 @@ class ResizeController
 
     /** Register one scheme instance; builds and attaches its domain. */
     void addHost(ResizeHost &host, const std::string &name);
+
+    /**
+     * Attach the in-package device's power model: deactivated slices
+     * gate their share of background/refresh power, and epoch power
+     * readings feed the PowerCap policy. Optional — without it,
+     * resizing works but saves no modeled energy.
+     */
+    void attachPowerModel(DramPowerModel *power);
 
     std::size_t numDomains() const { return domains_.size(); }
     ResizeDomain &domain(std::size_t i) { return *domains_[i]; }
@@ -87,10 +104,19 @@ class ResizeController
   private:
     void epochTick();
 
+    /** Fraction of the device to gate for @p active of total slices. */
+    double
+    gatedFractionFor(std::uint32_t active) const
+    {
+        return 1.0 - static_cast<double>(active) /
+                         static_cast<double>(totalSlices());
+    }
+
     EventQueue &eq_;
     OsServices &os_;
     ResizeConfig config_;
     ResizePolicy policy_;
+    DramPowerModel *power_ = nullptr;
     std::vector<std::unique_ptr<ResizeDomain>> domains_;
 
     std::uint64_t epochIndex_ = 0;
@@ -100,6 +126,22 @@ class ResizeController
     std::optional<std::uint32_t> pendingTarget_;
     std::uint64_t prevAccesses_ = 0;
     std::uint64_t prevMisses_ = 0;
+    double prevTotalPJ_ = 0.0;
+    double prevBgRefPJ_ = 0.0;
+    /** Running (exponentially smoothed) epoch power — the reading the
+     *  PowerCap policy sees. Replacement traffic arrives in bursts
+     *  (tag-buffer fill -> batch PTE commit cadence), so the smoothing
+     *  window must span several bursts or the policy would track the
+     *  inter-burst baseline and flap across the cap. */
+    double ewmaPowerWatts_ = 0.0;
+    bool ewmaValid_ = false;
+    static constexpr double kPowerEwmaAlpha = 0.1;
+    /** Incremental-policy settling time: epochs to hold decisions
+     *  after a transition completes. The EWMA is reseeded at
+     *  completion, so the hold only needs to gather a couple of
+     *  post-transition samples before deciding again. */
+    std::uint64_t holdEpochs_ = 0;
+    static constexpr std::uint64_t kSettleEpochs = 2;
 
     StatSet stats_;
     Counter &statStarted_;

@@ -21,6 +21,9 @@ ResizePolicy::decide(std::uint64_t epochIndex, const ResizeEpochStats &stats,
         return std::nullopt;
     }
 
+    if (config_.kind == ResizePolicyConfig::Kind::PowerCap)
+        return powerCap_.decide(stats, activeSlices, totalSlices);
+
     // Adaptive: need a statistically meaningful epoch to act.
     if (stats.accesses < config_.minEpochAccesses)
         return std::nullopt;

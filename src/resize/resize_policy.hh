@@ -3,12 +3,14 @@
  * Epoch-driven resize decisions.
  *
  * Once per epoch the controller feeds the policy the demand-access
- * delta observed across all memory controllers. Schedule mode
- * replays a scripted list of (epoch, target) steps — the mode benches
- * and external capacity managers (power capping, multi-tenant quota)
- * use. Adaptive mode is stats-fed: a near-zero miss rate means the
- * working set fits comfortably and slices can be powered down; a high
- * miss rate means the cache is thrashing and should grow back.
+ * delta (and the in-package device's epoch power) observed across all
+ * memory controllers. Schedule mode replays a scripted list of
+ * (epoch, target) steps — the mode benches and external capacity
+ * managers use. Adaptive mode is stats-fed: a near-zero miss rate
+ * means the working set fits comfortably and slices can be powered
+ * down; a high miss rate means the cache is thrashing and should grow
+ * back. PowerCap mode delegates to PowerCapPolicy, which picks the
+ * slice count from a watt budget.
  */
 
 #ifndef BANSHEE_RESIZE_RESIZE_POLICY_HH
@@ -17,31 +19,16 @@
 #include <cstdint>
 #include <optional>
 
+#include "power/power_cap_policy.hh"
 #include "resize/resize_config.hh"
 
 namespace banshee {
-
-/** Demand-traffic delta over one epoch, summed over all MCs. */
-struct ResizeEpochStats
-{
-    std::uint64_t accesses = 0;
-    std::uint64_t misses = 0;
-
-    double
-    missRate() const
-    {
-        return accesses == 0
-                   ? 0.0
-                   : static_cast<double>(misses) /
-                         static_cast<double>(accesses);
-    }
-};
 
 class ResizePolicy
 {
   public:
     explicit ResizePolicy(const ResizePolicyConfig &config)
-        : config_(config)
+        : config_(config), powerCap_(config)
     {
     }
 
@@ -58,6 +45,7 @@ class ResizePolicy
 
   private:
     ResizePolicyConfig config_;
+    PowerCapPolicy powerCap_;
 };
 
 } // namespace banshee

@@ -2,6 +2,8 @@
 
 #include <cstdarg>
 
+#include "common/log.hh"
+
 namespace banshee {
 
 void
@@ -37,6 +39,122 @@ fmt(double value, int decimals)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
     return buf;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+writeCatBytes(std::FILE *f, const char *key,
+              const std::array<std::uint64_t, kNumTrafficCats> &bytes)
+{
+    std::fprintf(f, "      \"%s\": {", key);
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+        std::fprintf(f, "%s\"%s\": %llu", c == 0 ? "" : ", ",
+                     trafficCatName(static_cast<TrafficCat>(c)),
+                     static_cast<unsigned long long>(bytes[c]));
+    }
+    std::fprintf(f, "},\n");
+}
+
+void
+writeCatEnergy(std::FILE *f, const char *key,
+               const std::array<double, kNumTrafficCats> &pJ)
+{
+    std::fprintf(f, "      \"%s\": {", key);
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+        std::fprintf(f, "%s\"%s\": %.1f", c == 0 ? "" : ", ",
+                     trafficCatName(static_cast<TrafficCat>(c)), pJ[c]);
+    }
+    std::fprintf(f, "},\n");
+}
+
+} // namespace
+
+void
+writeResultsJson(const std::string &path, const std::string &bench,
+                 const std::vector<std::string> &labels,
+                 const std::vector<RunResult> &results)
+{
+    sim_assert(labels.size() == results.size(),
+               "json: %zu labels for %zu results", labels.size(),
+               results.size());
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 jsonEscape(bench).c_str());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"label\": \"%s\",\n",
+                     jsonEscape(labels[i]).c_str());
+        std::fprintf(f, "      \"workload\": \"%s\",\n",
+                     jsonEscape(r.workload).c_str());
+        std::fprintf(f, "      \"scheme\": \"%s\",\n",
+                     jsonEscape(r.scheme).c_str());
+        std::fprintf(f, "      \"instructions\": %llu,\n",
+                     static_cast<unsigned long long>(r.instructions));
+        std::fprintf(f, "      \"cycles\": %llu,\n",
+                     static_cast<unsigned long long>(r.cycles));
+        std::fprintf(f, "      \"ipc\": %.6f,\n", r.ipc);
+        std::fprintf(f, "      \"missRate\": %.6f,\n", r.missRate);
+        std::fprintf(f, "      \"mpki\": %.4f,\n", r.mpki);
+        writeCatBytes(f, "inPkgBytes", r.inPkgBytes);
+        writeCatBytes(f, "offPkgBytes", r.offPkgBytes);
+        writeCatEnergy(f, "inPkgDynPJ", r.inPkgDynPJ);
+        writeCatEnergy(f, "offPkgDynPJ", r.offPkgDynPJ);
+        std::fprintf(f, "      \"inPkgBackgroundPJ\": %.1f,\n",
+                     r.inPkgBackgroundPJ);
+        std::fprintf(f, "      \"inPkgRefreshPJ\": %.1f,\n",
+                     r.inPkgRefreshPJ);
+        std::fprintf(f, "      \"inPkgActiveStandbyPJ\": %.1f,\n",
+                     r.inPkgActiveStandbyPJ);
+        std::fprintf(f, "      \"offPkgBackgroundPJ\": %.1f,\n",
+                     r.offPkgBackgroundPJ);
+        std::fprintf(f, "      \"offPkgRefreshPJ\": %.1f,\n",
+                     r.offPkgRefreshPJ);
+        std::fprintf(f, "      \"offPkgActiveStandbyPJ\": %.1f,\n",
+                     r.offPkgActiveStandbyPJ);
+        std::fprintf(f, "      \"totalEnergyPJ\": %.1f,\n",
+                     r.totalEnergyPJ());
+        std::fprintf(f, "      \"energyPerInstrPJ\": %.4f,\n",
+                     r.energyPerInstrPJ());
+        std::fprintf(f, "      \"inPkgAvgPowerWatts\": %.6f,\n",
+                     r.inPkgAvgPowerWatts);
+        std::fprintf(f, "      \"offPkgAvgPowerWatts\": %.6f,\n",
+                     r.offPkgAvgPowerWatts);
+        std::fprintf(f, "      \"pagesMigrated\": %llu,\n",
+                     static_cast<unsigned long long>(r.pagesMigrated));
+        std::fprintf(f, "      \"finalActiveSlices\": %u\n",
+                     r.finalActiveSlices);
+        std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    if (std::fclose(f) != 0)
+        fatal("error writing '%s'", path.c_str());
 }
 
 void

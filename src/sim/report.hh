@@ -1,7 +1,9 @@
 /**
  * @file
  * Fixed-width table printing for the bench binaries, so each bench
- * reproduces its paper table/figure as aligned rows on stdout.
+ * reproduces its paper table/figure as aligned rows on stdout, plus
+ * the shared machine-readable result serialization every bench's
+ * --json flag uses.
  */
 
 #ifndef BANSHEE_SIM_REPORT_HH
@@ -10,6 +12,8 @@
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "sim/system.hh"
 
 namespace banshee {
 
@@ -36,6 +40,16 @@ std::string fmt(double value, int decimals = 2);
 
 /** Banner printed at the top of every bench binary. */
 void printBanner(const std::string &title, const std::string &paperRef);
+
+/**
+ * Serialize one sweep as JSON: run metadata, per-category traffic,
+ * per-category energy, and the headline scalars of every RunResult,
+ * keyed by its experiment label. Fatal (sim_assert) when @p labels
+ * and @p results disagree in length; dies on I/O errors.
+ */
+void writeResultsJson(const std::string &path, const std::string &bench,
+                      const std::vector<std::string> &labels,
+                      const std::vector<RunResult> &results);
 
 } // namespace banshee
 

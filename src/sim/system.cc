@@ -51,6 +51,29 @@ RunResult::offPkgTotalBpi() const
     return instructions == 0 ? 0.0 : t / instructions;
 }
 
+double
+RunResult::totalEnergyPJ() const
+{
+    double t = inPkgBackgroundPJ + inPkgRefreshPJ + inPkgActiveStandbyPJ +
+               offPkgBackgroundPJ + offPkgRefreshPJ +
+               offPkgActiveStandbyPJ;
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c)
+        t += inPkgDynPJ[c] + offPkgDynPJ[c];
+    return t;
+}
+
+double
+RunResult::energyPerInstrPJ() const
+{
+    return instructions == 0 ? 0.0 : totalEnergyPJ() / instructions;
+}
+
+double
+RunResult::inPkgBgRefreshPJ() const
+{
+    return inPkgBackgroundPJ + inPkgRefreshPJ;
+}
+
 System::System(const SystemConfig &config) : config_(config)
 {
     sim_assert(WorkloadFactory::exists(config.workload),
@@ -104,6 +127,8 @@ System::System(const SystemConfig &config) : config_(config)
                        schemeKindName(config.scheme));
             resize_->addHost(*host, "resize" + std::to_string(mc));
         }
+        if (mem_->inPkg())
+            resize_->attachPowerModel(&mem_->inPkg()->power());
     }
 
     HierarchyParams hp = config.hierarchy;
@@ -123,6 +148,30 @@ System::System(const SystemConfig &config) : config_(config)
             if (parkedCount_ == config_.numCores)
                 eq_.requestStop();
         });
+    }
+
+    // Warmup budget scaling (see SystemConfig::autoWarmup): when the
+    // workload is a pure sequential sweep whose aggregate footprint
+    // fits the DRAM cache, measurement should start from steady-state
+    // residency — raise warmup to cover warmupSweeps full passes.
+    if (config_.autoWarmup && config_.mem.hasInPkg) {
+        std::uint64_t totalSweepBytes = 0;
+        std::uint64_t maxSweepInstr = 0;
+        bool allSweep = true;
+        for (const auto &p : patterns_) {
+            if (p->sweepBytes() == 0) {
+                allSweep = false;
+                break;
+            }
+            totalSweepBytes += p->sweepBytes();
+            maxSweepInstr = std::max(maxSweepInstr, p->sweepInstr());
+        }
+        if (allSweep && totalSweepBytes <= config_.mem.inPkgCapacity) {
+            config_.warmupInstrPerCore =
+                std::max<std::uint64_t>(config_.warmupInstrPerCore,
+                                        config_.warmupSweeps *
+                                            maxSweepInstr);
+        }
     }
 
     // Register OS hooks last so stalls and shootdowns reach the cores.
@@ -235,6 +284,16 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
                 static_cast<TrafficCat>(c));
         }
         r.inPkgBusUtil = mem_->inPkg()->busUtilization(elapsed);
+        DramPowerModel &power = mem_->inPkg()->power();
+        power.finalize(eq_.now());
+        for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+            r.inPkgDynPJ[c] =
+                power.energy().dynamicPJ(static_cast<TrafficCat>(c));
+        }
+        r.inPkgBackgroundPJ = power.energy().backgroundPJ();
+        r.inPkgRefreshPJ = power.energy().refreshPJ();
+        r.inPkgActiveStandbyPJ = power.energy().activeStandbyPJ();
+        r.inPkgAvgPowerWatts = power.averagePowerWatts(eq_.now());
     }
     if (mem_->offPkg()) {
         for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
@@ -242,6 +301,16 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
                 static_cast<TrafficCat>(c));
         }
         r.offPkgBusUtil = mem_->offPkg()->busUtilization(elapsed);
+        DramPowerModel &power = mem_->offPkg()->power();
+        power.finalize(eq_.now());
+        for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+            r.offPkgDynPJ[c] =
+                power.energy().dynamicPJ(static_cast<TrafficCat>(c));
+        }
+        r.offPkgBackgroundPJ = power.energy().backgroundPJ();
+        r.offPkgRefreshPJ = power.energy().refreshPJ();
+        r.offPkgActiveStandbyPJ = power.energy().activeStandbyPJ();
+        r.offPkgAvgPowerWatts = power.averagePowerWatts(eq_.now());
     }
 
     r.avgFetchLatency = mem_->avgFetchLatency();

@@ -54,6 +54,19 @@ struct RunResult
     std::array<std::uint64_t, kNumTrafficCats> inPkgBytes{};
     std::array<std::uint64_t, kNumTrafficCats> offPkgBytes{};
 
+    /** Dynamic DRAM energy per category (pJ; see DramPowerModel). */
+    std::array<double, kNumTrafficCats> inPkgDynPJ{};
+    std::array<double, kNumTrafficCats> offPkgDynPJ{};
+    double inPkgBackgroundPJ = 0.0;
+    double inPkgRefreshPJ = 0.0;
+    double inPkgActiveStandbyPJ = 0.0;
+    double offPkgBackgroundPJ = 0.0;
+    double offPkgRefreshPJ = 0.0;
+    double offPkgActiveStandbyPJ = 0.0;
+    /** Mean power over the measured phase (W). */
+    double inPkgAvgPowerWatts = 0.0;
+    double offPkgAvgPowerWatts = 0.0;
+
     double inPkgBusUtil = 0.0;
     double offPkgBusUtil = 0.0;
     double avgFetchLatency = 0.0; ///< mean LLC-miss service cycles
@@ -76,6 +89,15 @@ struct RunResult
     double offPkgBpi(TrafficCat c) const;
     double inPkgTotalBpi() const;
     double offPkgTotalBpi() const;
+
+    /** Whole-memory-system DRAM energy over the measured phase (pJ). */
+    double totalEnergyPJ() const;
+    /** Total DRAM energy per instruction (pJ/instr), the paper's
+     *  energy-efficiency axis. */
+    double energyPerInstrPJ() const;
+    /** In-package background + refresh energy (pJ) — what slice
+     *  power-gating saves. */
+    double inPkgBgRefreshPJ() const;
 };
 
 class System

@@ -34,6 +34,7 @@ SystemConfig::scaledDefault()
     c.mem.numOffPkgChannels = 1;
     c.mem.inPkgCapacity = 128ull << 20;
     c.footprintScale = 1.0;
+    c.autoWarmup = true;
     return c;
 }
 
@@ -90,6 +91,17 @@ SystemConfig::withResizeStep(std::uint64_t epoch, std::uint32_t targetSlices,
     resize.strategy = strategy;
     resize.policy.kind = ResizePolicyConfig::Kind::Schedule;
     resize.policy.schedule.push_back(ResizeStep{epoch, targetSlices});
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withPowerCap(double watts, std::uint32_t minSlices)
+{
+    resize.enabled = true;
+    resize.strategy = ResizeStrategy::ConsistentHash;
+    resize.policy.kind = ResizePolicyConfig::Kind::PowerCap;
+    resize.policy.powerCapWatts = watts;
+    resize.policy.minSlices = minSlices;
     return *this;
 }
 

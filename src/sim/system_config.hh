@@ -75,6 +75,17 @@ struct SystemConfig
     std::uint64_t measureInstrPerCore = 1'200'000;
     std::uint64_t seed = 42;
 
+    /**
+     * Scale the warmup budget with the workload's sweep length: when
+     * the workload is a pure sequential sweep whose total footprint
+     * fits the DRAM cache (libquantum), raise warmupInstrPerCore so
+     * the measured window starts from steady-state residency
+     * (@c warmupSweeps full passes). Streams larger than the cache
+     * have no steady state to warm into and are left alone.
+     */
+    bool autoWarmup = false;
+    std::uint32_t warmupSweeps = 2;
+
     /** Scaled default (128 MB cache) — see file comment. */
     static SystemConfig scaledDefault();
 
@@ -98,6 +109,12 @@ struct SystemConfig
                                  std::uint32_t targetSlices,
                                  ResizeStrategy strategy =
                                      ResizeStrategy::ConsistentHash);
+
+    /**
+     * Enable resizing driven by an in-package power cap of @p watts
+     * (PowerCapPolicy), never shrinking below @p minSlices.
+     */
+    SystemConfig &withPowerCap(double watts, std::uint32_t minSlices = 1);
 };
 
 } // namespace banshee

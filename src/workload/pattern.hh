@@ -50,6 +50,19 @@ class AccessPattern
 
     /** Produce the next memory operation. */
     virtual MemOp next(Rng &rng) = 0;
+
+    /**
+     * Bytes of the finite sequential region this generator sweeps, or
+     * 0 when it has no finite sweep (random / pointer patterns, and
+     * mixes — whose embedded scans are deliberately excluded: they
+     * model data sets streamed through the cache, not resident in
+     * it). Used to scale warmup so cache-resident streaming working
+     * sets reach steady state before measurement.
+     */
+    virtual std::uint64_t sweepBytes() const { return 0; }
+
+    /** Mean instructions retired per full sweep (0 when no sweep). */
+    virtual std::uint64_t sweepInstr() const { return 0; }
 };
 
 /**
@@ -65,6 +78,15 @@ class StreamPattern : public AccessPattern
                   std::uint64_t startOffset = 0);
 
     MemOp next(Rng &rng) override;
+
+    std::uint64_t sweepBytes() const override { return bytes_; }
+
+    std::uint64_t
+    sweepInstr() const override
+    {
+        // One memory instruction per op plus the mean non-memory gap.
+        return (bytes_ / stride_) * (1 + nonMemMean_);
+    }
 
   private:
     Addr base_;

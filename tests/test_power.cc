@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Power subsystem tests: DramPowerModel energy identities (dynamic
+ * energy monotone in traffic, background/refresh proportional to the
+ * ungated slice fraction, piecewise gating integration), PowerCapPolicy
+ * convergence under a step change in the cap, and end-to-end checks
+ * that a shrink gates background/refresh power on the full machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "power/power_cap_policy.hh"
+#include "power/power_model.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+
+namespace banshee {
+namespace {
+
+DramPowerModel
+makeModel(StatSet &stats, std::uint32_t channels = 4)
+{
+    return DramPowerModel(DramPowerParams::inPackage(), DramTiming{},
+                          channels, stats);
+}
+
+TEST(DramPowerModel, DerivedConstantsArePhysical)
+{
+    StatSet stats("power");
+    DramPowerModel m = makeModel(stats);
+    EXPECT_GT(m.actPrePJ(), 0.0);
+    EXPECT_GT(m.readPJPerByte(), 0.0);
+    // Writes burn slightly more core energy than reads (IDD4W>IDD4R).
+    EXPECT_GT(m.writePJPerByte(), m.readPJPerByte());
+    EXPECT_GT(m.backgroundFloorWatts(), 0.0);
+    EXPECT_GT(m.refreshWatts(), 0.0);
+    // Off-package I/O makes every byte more expensive than in-package.
+    StatSet offStats("offPower");
+    DramPowerModel off(DramPowerParams::offPackage(), DramTiming{}, 1,
+                       offStats);
+    EXPECT_GT(off.readPJPerByte(), m.readPJPerByte());
+}
+
+TEST(DramPowerModel, DynamicEnergyMonotoneInTraffic)
+{
+    StatSet stats("power");
+    DramPowerModel m = makeModel(stats);
+    EXPECT_DOUBLE_EQ(m.energy().dynamicTotalPJ(), 0.0);
+
+    m.onBurst(64, 0, false, TrafficCat::HitData);
+    const double one = m.energy().dynamicTotalPJ();
+    EXPECT_GT(one, 0.0);
+    m.onBurst(64, 0, false, TrafficCat::HitData);
+    EXPECT_DOUBLE_EQ(m.energy().dynamicTotalPJ(), 2.0 * one);
+    m.onActivate(TrafficCat::HitData);
+    EXPECT_DOUBLE_EQ(m.energy().dynamicTotalPJ(),
+                     2.0 * one + m.actPrePJ());
+    // Attribution follows the request's category.
+    m.onBurst(256, 0, true, TrafficCat::Migration);
+    EXPECT_DOUBLE_EQ(m.energy().dynamicPJ(TrafficCat::Migration),
+                     256.0 * m.writePJPerByte());
+    EXPECT_DOUBLE_EQ(m.energy().dynamicPJ(TrafficCat::Demand), 0.0);
+}
+
+TEST(DramPowerModel, TagSplitMirrorsTrafficAccounting)
+{
+    StatSet stats("power");
+    DramPowerModel m = makeModel(stats);
+    m.onBurst(96, 32, false, TrafficCat::Replacement);
+    EXPECT_DOUBLE_EQ(m.energy().dynamicPJ(TrafficCat::Tag),
+                     32.0 * m.readPJPerByte());
+    EXPECT_DOUBLE_EQ(m.energy().dynamicPJ(TrafficCat::Replacement),
+                     64.0 * m.readPJPerByte());
+}
+
+TEST(DramPowerModel, BackgroundAndRefreshScaleWithUngatedFraction)
+{
+    const Cycle interval = usToCycles(100.0);
+    StatSet statsA("a"), statsB("b");
+    DramPowerModel full = makeModel(statsA);
+    DramPowerModel gated = makeModel(statsB);
+    gated.setGatedSliceFraction(0.25, 0);
+
+    full.finalize(interval);
+    gated.finalize(interval);
+    EXPECT_GT(full.energy().refreshPJ(), 0.0);
+    EXPECT_GT(full.energy().backgroundPJ(), 0.0);
+    // Gating 2 of 8 slices sheds exactly their share.
+    EXPECT_NEAR(gated.energy().refreshPJ(),
+                0.75 * full.energy().refreshPJ(),
+                1e-6 * full.energy().refreshPJ());
+    EXPECT_NEAR(gated.energy().backgroundPJ(),
+                0.75 * full.energy().backgroundPJ(),
+                1e-6 * full.energy().backgroundPJ());
+    EXPECT_NEAR(gated.backgroundRefreshWatts(),
+                0.75 * full.backgroundRefreshWatts(), 1e-9);
+}
+
+TEST(DramPowerModel, GatingIntegratesPiecewise)
+{
+    const Cycle half = usToCycles(50.0);
+    StatSet statsA("a"), statsB("b");
+    DramPowerModel full = makeModel(statsA);
+    DramPowerModel switched = makeModel(statsB);
+
+    // Fully on for the first half, half gated for the second: total
+    // background must land at 75% of the always-on run.
+    switched.setGatedSliceFraction(0.5, half);
+    switched.finalize(2 * half);
+    full.finalize(2 * half);
+    EXPECT_NEAR(switched.energy().backgroundPJ(),
+                0.75 * full.energy().backgroundPJ(),
+                1e-6 * full.energy().backgroundPJ());
+}
+
+TEST(DramPowerModel, ResetStatsRestartsIntegrationButKeepsGating)
+{
+    StatSet stats("power");
+    DramPowerModel m = makeModel(stats);
+    m.setGatedSliceFraction(0.5, 0);
+    m.onBurst(64, 0, false, TrafficCat::Demand);
+    m.finalize(usToCycles(10.0));
+    EXPECT_GT(m.energy().totalPJ(), 0.0);
+
+    m.resetStats(usToCycles(10.0));
+    EXPECT_DOUBLE_EQ(m.energy().totalPJ(), 0.0);
+    EXPECT_DOUBLE_EQ(m.gatedSliceFraction(), 0.5);
+    m.finalize(usToCycles(20.0));
+    StatSet refStats("ref");
+    DramPowerModel ref = makeModel(refStats);
+    ref.setGatedSliceFraction(0.5, 0);
+    ref.finalize(usToCycles(10.0));
+    EXPECT_NEAR(m.energy().backgroundPJ(), ref.energy().backgroundPJ(),
+                1e-6 * ref.energy().backgroundPJ());
+}
+
+// ------------------------------------------------------------------
+// PowerCapPolicy
+// ------------------------------------------------------------------
+
+/** Epoch stats for a synthetic device: fixed dynamic power plus a
+ *  per-slice background share. */
+ResizeEpochStats
+syntheticEpoch(double dynamicWatts, double perSliceWatts,
+               std::uint32_t active)
+{
+    ResizeEpochStats s;
+    s.accesses = 100'000;
+    s.misses = 10'000;
+    s.bgRefreshWatts = perSliceWatts * active;
+    s.avgPowerWatts = dynamicWatts + s.bgRefreshWatts;
+    return s;
+}
+
+TEST(PowerCapPolicy, ConvergesUnderStepChangeInCap)
+{
+    ResizePolicyConfig config;
+    config.kind = ResizePolicyConfig::Kind::PowerCap;
+    config.minSlices = 2;
+    config.powerGrowMargin = 0.5;
+    const double dynamic = 4.0;
+    const double perSlice = 0.5;
+
+    // Step the cap below the 8-slice draw (4 + 8*0.5 = 8 W): the
+    // policy sheds one slice per epoch until the device fits.
+    config.powerCapWatts = 6.2;
+    ResizePolicy policy(config);
+    std::uint32_t active = 8;
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        const auto t = policy.decide(
+            epoch, syntheticEpoch(dynamic, perSlice, active), active, 8);
+        if (!t.has_value())
+            break;
+        EXPECT_EQ(*t, active - 1) << "sheds exactly one slice per epoch";
+        active = *t;
+    }
+    // 4 + 4*0.5 = 6 W <= 6.2 W: converged at 4 slices, and stays put.
+    EXPECT_EQ(active, 4u);
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        EXPECT_FALSE(policy.decide(epoch,
+                                   syntheticEpoch(dynamic, perSlice,
+                                                  active),
+                                   active, 8)
+                         .has_value());
+    }
+
+    // Step the cap back up: grows while headroom covers a slice's
+    // share plus the hysteresis margin, then holds (7 slices: growing
+    // to 8 would need 7.5 + 0.75 <= 8, which fails).
+    config.powerCapWatts = 8.0;
+    ResizePolicy raised(config);
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        const auto t = raised.decide(
+            epoch, syntheticEpoch(dynamic, perSlice, active), active, 8);
+        if (!t.has_value())
+            break;
+        EXPECT_EQ(*t, active + 1);
+        active = *t;
+    }
+    EXPECT_EQ(active, 7u);
+}
+
+TEST(PowerCapPolicy, RespectsFloorAndDisabledCap)
+{
+    ResizePolicyConfig config;
+    config.kind = ResizePolicyConfig::Kind::PowerCap;
+    config.minSlices = 6;
+    config.powerCapWatts = 0.1; // unreachable: even minSlices is over
+    ResizePolicy policy(config);
+
+    std::uint32_t active = 8;
+    auto t = policy.decide(0, syntheticEpoch(4.0, 0.5, active), active, 8);
+    ASSERT_TRUE(t.has_value());
+    active = *t;
+    t = policy.decide(1, syntheticEpoch(4.0, 0.5, active), active, 8);
+    ASSERT_TRUE(t.has_value());
+    active = *t;
+    EXPECT_EQ(active, 6u);
+    // At the floor the policy stops even though the cap is exceeded.
+    EXPECT_FALSE(policy.decide(2, syntheticEpoch(4.0, 0.5, active),
+                               active, 8)
+                     .has_value());
+
+    // A zero/negative cap disables the policy entirely.
+    config.powerCapWatts = 0.0;
+    ResizePolicy off(config);
+    EXPECT_FALSE(off.decide(0, syntheticEpoch(4.0, 0.5, 8), 8, 8)
+                     .has_value());
+    // No measured background power -> shedding cannot save anything.
+    config.powerCapWatts = 1.0;
+    ResizePolicy noBg(config);
+    EXPECT_FALSE(noBg.decide(0, syntheticEpoch(4.0, 0.0, 8), 8, 8)
+                     .has_value());
+}
+
+// ------------------------------------------------------------------
+// End-to-end: gating on the full machine
+// ------------------------------------------------------------------
+
+SystemConfig
+powerBase(const std::string &workload)
+{
+    SystemConfig c = SystemConfig::testDefault();
+    c.workload = workload;
+    c.withScheme(SchemeKind::Banshee);
+    c.measureInstrPerCore = 60'000;
+    c.resize.hash.numSlices = 8;
+    c.resize.policy.epoch = usToCycles(2.0);
+    c.resize.migration.pagesPerBatch = 16;
+    c.resize.migration.batchInterval = nsToCycles(100.0);
+    return c;
+}
+
+TEST(PowerEndToEnd, RunResultCarriesEnergy)
+{
+    System s(powerBase("libquantum"));
+    const RunResult r = s.run();
+    EXPECT_GT(r.totalEnergyPJ(), 0.0);
+    EXPECT_GT(r.energyPerInstrPJ(), 0.0);
+    EXPECT_GT(r.inPkgBackgroundPJ, 0.0);
+    EXPECT_GT(r.inPkgRefreshPJ, 0.0);
+    EXPECT_GT(r.inPkgActiveStandbyPJ, 0.0);
+    EXPECT_GT(r.inPkgAvgPowerWatts, 0.0);
+    EXPECT_GT(r.offPkgAvgPowerWatts, 0.0);
+    // A cache-friendly workload serves demand hits in-package.
+    EXPECT_GT(r.inPkgDynPJ[static_cast<std::size_t>(TrafficCat::HitData)],
+              0.0);
+    // Energy breakdown is consistent with the traffic breakdown:
+    // categories that moved no bytes burned no dynamic energy, and
+    // categories with real volume burned some. (Requests still queued
+    // at phase end are counted as traffic before they issue, so only
+    // volumes above one request are asserted nonzero.)
+    for (std::size_t c = 0; c < kNumTrafficCats; ++c) {
+        if (r.inPkgBytes[c] == 0) {
+            EXPECT_DOUBLE_EQ(r.inPkgDynPJ[c], 0.0);
+        } else if (r.inPkgBytes[c] > 16 * kMaxRequestBytes) {
+            EXPECT_GT(r.inPkgDynPJ[c], 0.0);
+        }
+    }
+}
+
+TEST(PowerEndToEnd, ShrinkGatesBackgroundAndRefreshPower)
+{
+    SystemConfig none = powerBase("omnetpp");
+    SystemConfig shrink = powerBase("omnetpp");
+    shrink.withResizeStep(1, 4);
+
+    System a(none), b(shrink);
+    const RunResult ra = a.run();
+    const RunResult rb = b.run();
+    EXPECT_EQ(rb.finalActiveSlices, 4u);
+
+    // The shrunk run spends strictly less background + refresh energy
+    // per cycle: deactivated slices stop refreshing.
+    const double raPerCycle = ra.inPkgBgRefreshPJ() / ra.cycles;
+    const double rbPerCycle = rb.inPkgBgRefreshPJ() / rb.cycles;
+    EXPECT_LT(rbPerCycle, raPerCycle);
+    EXPECT_LT(rb.inPkgRefreshPJ / rb.cycles, ra.inPkgRefreshPJ / ra.cycles);
+    // And the migration drain's energy is visible per category.
+    EXPECT_GT(rb.inPkgDynPJ[static_cast<std::size_t>(
+                  TrafficCat::Migration)],
+              0.0);
+}
+
+TEST(PowerEndToEnd, PowerCapShedsSlicesOnFullMachine)
+{
+    // Uncapped reference to measure the device's power draw.
+    SystemConfig base = powerBase("omnetpp");
+    System ref(base);
+    const RunResult un = ref.run();
+    ASSERT_GT(un.inPkgAvgPowerWatts, 0.0);
+
+    // Cap decisively below the measured draw (dynamic power noise at
+    // test scale dwarfs one slice's background share, so a marginal
+    // cap would sit inside the noise band): the policy sheds slices
+    // to its floor and holds there, since growing would need smoothed
+    // power a full hysteresis margin under the unreachable budget.
+    SystemConfig capped = powerBase("omnetpp");
+    capped.withPowerCap(0.75 * un.inPkgAvgPowerWatts, /*minSlices=*/6);
+    System s(capped);
+    const RunResult r = s.run();
+
+    EXPECT_GE(r.resizesStarted, 1u);
+    EXPECT_EQ(r.finalActiveSlices, 6u);
+    EXPECT_LT(r.inPkgBgRefreshPJ() / r.cycles,
+              un.inPkgBgRefreshPJ() / un.cycles);
+    s.resizeController()->verifyResidencyConsistent();
+}
+
+} // namespace
+} // namespace banshee
