@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Extension: multi-tenant slice partitioning and QoS arbitration.
+ *
+ * Part 1 (isolation): a cache-friendly resident tenant (qos_resident:
+ * slow sweeps of a set that fits its quota) is co-located with a
+ * cache-hostile streaming tenant (qos_churn: an intense stream larger
+ * than the whole device, whose per-page bursts out-count the
+ * resident's leisurely revisits in the FBR directory). Three runs:
+ *
+ *  - solo: the resident tenant's cores alone on the machine;
+ *  - quota: the same co-location with the cache partitioned 3:1 over
+ *    the consistent-hash ring — the stream is confined to its own
+ *    slices and the resident tenant's *miss rate* must stay within a
+ *    small epsilon of solo;
+ *  - shared: the unpartitioned baseline — the stream's bursts win
+ *    admission everywhere and the resident tenant's miss rate
+ *    inflates several-fold.
+ *
+ * The gated claim is deliberately the miss rate, not IPC-vs-solo:
+ * sweeping this scenario showed co-location IPC cost is dominated by
+ * shared-channel queueing (both tenants' requests ride the same
+ * in-package channels), which slice placement does not govern — a
+ * capacity quota guarantees *residency*, and the bench reports the
+ * IPC and channel-utilization columns alongside so that split is
+ * visible rather than hidden. (Bounding a tenant's channel share
+ * would need a QoS-aware memory scheduler — see ROADMAP.)
+ *
+ * Part 2 (QoS arbitration): the quota mix restarted with a stale 1:1
+ * slice layout under the 3:1 weights. The arbiter rebalances one
+ * slice-drain per epoch until ownership matches the entitlement,
+ * demonstrating runtime quota changes without a flush.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/report.hh"
+#include "workload/workloads.hh"
+
+using namespace banshee;
+using namespace banshee::benchutil;
+
+namespace {
+
+constexpr double kResidentWeight = 3.0;
+constexpr double kChurnWeight = 1.0;
+
+std::vector<TenantConfig>
+mixTenants(std::uint32_t coresPerTenant)
+{
+    return {{"resident", "qos_resident", kResidentWeight, coresPerTenant},
+            {"churn", "qos_churn", kChurnWeight, coresPerTenant}};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    printBanner("Extension: multi-tenant DRAM-cache partitioning + QoS "
+                "arbitration",
+                "Banshee (MICRO'17) software-managed placement; Chang "
+                "et al. (consistent hashing)");
+
+    const std::uint32_t coresPerTenant = opt.base.numCores / 2;
+
+    // Consolidation-node proportions: a DRAM cache sized a few times
+    // the resident tenant's working set (the regime where quota
+    // placement decides residency), an SRAM LLC small enough not to
+    // couple the tenants through a resource quotas cannot protect,
+    // and enough backing bandwidth that co-location is a *capacity*
+    // question rather than a channel-bandwidth one (with the paper's
+    // single off-package channel, any miss-heavy neighbor saturates
+    // it and drowns the placement effect this bench isolates).
+    opt.base.mem.inPkgCapacity = 8ull << 20;
+    opt.base.footprintScale = 1.0 / 16.0;
+    opt.base.hierarchy.l3Size = 512 * 1024;
+    opt.base.mem.numOffPkgChannels = 4;
+
+    // The resident tenant's performance rides on measuring from
+    // steady-state residency: warm up long enough for its sweeps to
+    // clear FBR admission regardless of the --quick budget (the
+    // churn stream has no steady state to warm into).
+    opt.base.warmupInstrPerCore =
+        std::max<std::uint64_t>(opt.base.warmupInstrPerCore, 400'000);
+    opt.base.autoWarmup = false;
+
+    // ------------------------------------------- Part 1: isolation
+    std::vector<Experiment> exps;
+    {
+        SystemConfig solo = opt.base;
+        solo.numCores = coresPerTenant;
+        solo.workload = "qos_resident";
+        exps.push_back({"resident/solo", solo});
+
+        SystemConfig quota = opt.base;
+        quota.withTenants(mixTenants(coresPerTenant));
+        exps.push_back({"resident/quota", quota});
+
+        SystemConfig shared = opt.base;
+        shared.withTenants(mixTenants(coresPerTenant),
+                           /*partition=*/false);
+        exps.push_back({"resident/shared", shared});
+    }
+    std::vector<RunResult> results = runExperiments(exps, opt.threads);
+    const RunResult &solo = results[0];
+    const RunResult &quota = results[1];
+    const RunResult &shared = results[2];
+
+    const double quotaDeg = 100.0 * (1.0 - quota.tenants[0].ipc / solo.ipc);
+    const double sharedDeg =
+        100.0 * (1.0 - shared.tenants[0].ipc / solo.ipc);
+
+    std::printf("\nResident tenant (weight %.0f of %.0f => %u of %u "
+                "slices) vs the streaming tenant:\n",
+                kResidentWeight, kResidentWeight + kChurnWeight,
+                quota.tenants[0].slicesOwned,
+                opt.base.resize.hash.numSlices);
+    TablePrinter table({"run", "res IPC", "dIPC", "res miss", "churn IPC",
+                        "res slices"},
+                       13);
+    table.printHeader();
+    table.printRow({"solo", fmt(solo.ipc, 3), "-", fmt(solo.missRate, 3),
+                    "-", "-"});
+    table.printRow({"quota", fmt(quota.tenants[0].ipc, 3),
+                    fmt(-quotaDeg, 1) + "%",
+                    fmt(quota.tenants[0].missRate, 3),
+                    fmt(quota.tenants[1].ipc, 3),
+                    std::to_string(quota.tenants[0].slicesOwned) + "/" +
+                        std::to_string(opt.base.resize.hash.numSlices)});
+    table.printRow({"shared", fmt(shared.tenants[0].ipc, 3),
+                    fmt(-sharedDeg, 1) + "%",
+                    fmt(shared.tenants[0].missRate, 3),
+                    fmt(shared.tenants[1].ipc, 3), "shared"});
+    table.printRule();
+
+    const double soloMiss = solo.missRate;
+    const double quotaMiss = quota.tenants[0].missRate;
+    const double sharedMiss = shared.tenants[0].missRate;
+    const bool quotaHolds = quotaMiss <= soloMiss + 0.01;
+    const bool sharedEvicts =
+        sharedMiss >= 3.0 * quotaMiss && sharedMiss >= quotaMiss + 0.02;
+    std::printf("\nIsolation (gated on residency): quota keeps the "
+                "resident tenant's miss rate at\n%.3f vs %.3f solo "
+                "(gate: within 0.01 -> %s); unpartitioned it inflates "
+                "to %.3f\n(gate: >= 3x quota and quota+0.02 -> %s). "
+                "The streaming tenant cannot evict the\nresident below "
+                "its quota; in the shared cache it does.\n",
+                quotaMiss, soloMiss, quotaHolds ? "PASS" : "FAIL",
+                sharedMiss, sharedEvicts ? "PASS" : "FAIL");
+    std::printf("\nCo-location IPC cost (vs solo): quota %.1f%%, "
+                "shared %.1f%% — dominated by shared\nin-package "
+                "channel queueing, which placement quotas do not "
+                "govern (see header).\n",
+                quotaDeg, sharedDeg);
+    std::printf("\nChannel load (in-pkg / off-pkg bus util): solo "
+                "%.2f/%.2f, quota %.2f/%.2f, shared %.2f/%.2f\n",
+                solo.inPkgBusUtil, solo.offPkgBusUtil, quota.inPkgBusUtil,
+                quota.offPkgBusUtil, shared.inPkgBusUtil,
+                shared.offPkgBusUtil);
+    std::printf("OS machinery (pteRuns/shootdowns/replBlocked): solo "
+                "%llu/%llu/%llu, quota %llu/%llu/%llu, shared "
+                "%llu/%llu/%llu\n",
+                (unsigned long long)solo.pteUpdateRuns,
+                (unsigned long long)solo.tlbShootdowns,
+                (unsigned long long)solo.replacementsBlocked,
+                (unsigned long long)quota.pteUpdateRuns,
+                (unsigned long long)quota.tlbShootdowns,
+                (unsigned long long)quota.replacementsBlocked,
+                (unsigned long long)shared.pteUpdateRuns,
+                (unsigned long long)shared.tlbShootdowns,
+                (unsigned long long)shared.replacementsBlocked);
+    std::printf("Mean LLC-miss service cycles: solo %.0f, quota %.0f, "
+                "shared %.0f\n",
+                solo.avgFetchLatency, quota.avgFetchLatency,
+                shared.avgFetchLatency);
+
+    // ------------------------------------- Part 2: QoS arbitration
+    std::vector<Experiment> qosExps;
+    {
+        SystemConfig c = opt.base;
+        c.withTenants(mixTenants(coresPerTenant));
+        c.withQosArbiter();
+        // Stale layout: slices still split 1:1 from an old quota; the
+        // configured weights say 3:1.
+        c.resize.tenantWeights = {1.0, 1.0};
+        qosExps.push_back({"resident/qos-rebalance", c});
+    }
+    std::vector<RunResult> qosResults = runExperiments(qosExps, opt.threads);
+    const RunResult &qos = qosResults[0];
+
+    std::printf("\nQoS arbitration after a quota change (layout 4/4, "
+                "weights 3:1):\n");
+    TablePrinter qt({"tenant", "slices", "IPC", "missRate", "inPkgMB"},
+                    13);
+    qt.printHeader();
+    for (const TenantRunStats &t : qos.tenants) {
+        qt.printRow({t.name,
+                     std::to_string(t.slicesOwned) + "/" +
+                         std::to_string(opt.base.resize.hash.numSlices),
+                     fmt(t.ipc, 3), fmt(t.missRate, 3),
+                     fmt(t.inPkgBytes / 1e6, 1)});
+    }
+    qt.printRule();
+    std::printf("\nArbiter moved %llu slice(s) toward the 3:1 "
+                "entitlement (resident now owns %u)\n",
+                static_cast<unsigned long long>(qos.qosReassigns),
+                qos.tenants[0].slicesOwned);
+
+    for (std::size_t i = 0; i < qosExps.size(); ++i) {
+        exps.push_back(std::move(qosExps[i]));
+        results.push_back(qosResults[i]);
+    }
+    maybeWriteJson(opt, "ext_tenant", exps, results);
+    return 0;
+}

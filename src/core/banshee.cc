@@ -108,10 +108,11 @@ BansheeScheme::resolveMapping(PageNum page, const MappingInfo &carried,
 }
 
 void
-BansheeScheme::chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat)
+BansheeScheme::chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat,
+                                TenantId tenant)
 {
-    inPkgAccess(metaAddr(setIdx), 32, 0, false, cat, nullptr);
-    inPkgAccess(metaAddr(setIdx), 32, 0, true, cat, nullptr);
+    inPkgAccess(metaAddr(setIdx), 32, 0, false, cat, nullptr, tenant);
+    inPkgAccess(metaAddr(setIdx), 32, 0, true, cat, nullptr, tenant);
 }
 
 void
@@ -120,24 +121,25 @@ BansheeScheme::demandFetch(LineAddr line, const MappingInfo &mapping,
 {
     (void)core;
     const PageNum page = pageOfLine64(line);
+    const TenantId tenant = tenantOfAddr(lineToAddr(line));
     const std::uint32_t setIdx = setOf(page);
     const PageMapping m = resolveMapping(page, mapping, true);
 
-    recordAccess(m.cached);
+    recordAccess(m.cached, tenant);
     missRate_.record(!m.cached);
 
     if (config_.policy == BansheeConfig::Policy::LruEveryMiss)
-        lruTouchAndReplace(page, setIdx, m.cached, m.way);
+        lruTouchAndReplace(page, setIdx, m.cached, m.way, tenant);
     else
-        fbrSampleAndReplace(page, setIdx, m.cached, m.way);
+        fbrSampleAndReplace(page, setIdx, m.cached, m.way, tenant);
 
     if (m.cached) {
         const Addr dev = frameAddr(setIdx, m.way) +
                          (lineToAddr(line) & (pageBytes_ - 1));
         inPkgAccess(dev, kLineBytes, 0, false, TrafficCat::HitData,
-                    std::move(done));
+                    std::move(done), tenant);
     } else {
-        offPkgRead64(line, TrafficCat::Demand, std::move(done));
+        offPkgRead64(line, TrafficCat::Demand, std::move(done), tenant);
     }
 }
 
@@ -145,6 +147,7 @@ void
 BansheeScheme::demandWriteback(LineAddr line)
 {
     const PageNum page = pageOfLine64(line);
+    const TenantId tenant = tenantOfAddr(lineToAddr(line));
     const std::uint32_t setIdx = setOf(page);
 
     PageMapping m;
@@ -156,7 +159,7 @@ BansheeScheme::demandWriteback(LineAddr line)
         // next eviction of this page avoids the probe (Section 3.3).
         ++statTagProbes_;
         inPkgAccess(metaAddr(setIdx), 32, 32, false, TrafficCat::Tag,
-                    nullptr);
+                    nullptr, tenant);
         m = ctx_.pageTable->currentMapping(page);
         tagBuffer_.insertClean(page, m);
     }
@@ -164,16 +167,18 @@ BansheeScheme::demandWriteback(LineAddr line)
     if (m.cached) {
         const Addr dev = frameAddr(setIdx, m.way) +
                          (lineToAddr(line) & (pageBytes_ - 1));
-        inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr);
+        inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr,
+                    tenant);
         dir_.cached(setIdx, m.way).dirty = true;
     } else {
-        offPkgWrite64(line, TrafficCat::Writeback);
+        offPkgWrite64(line, TrafficCat::Writeback, tenant);
     }
 }
 
 void
 BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
-                                   bool hit, std::uint8_t hitWay)
+                                   bool hit, std::uint8_t hitWay,
+                                   TenantId tenant)
 {
     // BATMAN bandwidth balancing: bypassed pages are not tracked or
     // cached (already-cached ones keep hitting and age out).
@@ -183,7 +188,7 @@ BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
         return;
 
     ++statSampled_;
-    chargeMetadataRw(setIdx, TrafficCat::Counter);
+    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant);
 
     if (hit) {
         // Algorithm 1 lines 5-6: increment; halve all on saturation.
@@ -202,7 +207,7 @@ BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
         // Algorithm 1 line 7: replace only when the candidate leads
         // the coldest cached page by the bandwidth-aware threshold.
         if (candCount > victimCount + threshold_)
-            executeReplacement(page, setIdx, victimWay);
+            executeReplacement(page, setIdx, victimWay, tenant);
         if (saturated) {
             ++statCounterOverflows_;
             dir_.halveAll(setIdx);
@@ -226,11 +231,12 @@ BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
 
 void
 BansheeScheme::lruTouchAndReplace(PageNum page, std::uint32_t setIdx,
-                                  bool hit, std::uint8_t hitWay)
+                                  bool hit, std::uint8_t hitWay,
+                                  TenantId tenant)
 {
     // LRU bits live in the same tag rows: every access reads and
     // updates them — the bandwidth cost Unison pays (Table 1).
-    chargeMetadataRw(setIdx, TrafficCat::Counter);
+    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant);
 
     if (hit) {
         dir_.cached(setIdx, hitWay).lruStamp = lruStampCounter_++;
@@ -260,13 +266,13 @@ BansheeScheme::lruTouchAndReplace(PageNum page, std::uint32_t setIdx,
     slot0.tag = page;
     slot0.count = 1;
     slot0.valid = true;
-    executeReplacement(page, setIdx, victimWay);
+    executeReplacement(page, setIdx, victimWay, tenant);
     dir_.cached(setIdx, victimWay).lruStamp = lruStampCounter_++;
 }
 
 void
 BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
-                                  std::uint32_t way)
+                                  std::uint32_t way, TenantId tenant)
 {
     const FbrDirectory::CachedEntry &pre = dir_.cached(setIdx, way);
     if (replacementsLocked_ || !tagBuffer_.canAcceptRemaps(2) ||
@@ -281,10 +287,12 @@ BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
     sim_assert(slot.has_value(), "replacement without candidate entry");
 
     // Data movement: fetch the page from off-package DRAM and write
-    // it into the frame; a dirty victim makes the round trip back.
-    offPkgBulk(pageAddr(page), pageBytes_, false, TrafficCat::Fill);
+    // it into the frame; a dirty victim makes the round trip back,
+    // charged to the victim page's own tenant.
+    offPkgBulk(pageAddr(page), pageBytes_, false, TrafficCat::Fill, nullptr,
+               tenant);
     inPkgBulk(frameAddr(setIdx, way), pageBytes_, true,
-              TrafficCat::Replacement);
+              TrafficCat::Replacement, nullptr, tenant);
 
     const FbrDirectory::CachedEntry victim = dir_.promote(setIdx, way,
                                                           *slot);
@@ -293,10 +301,11 @@ BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
         ++statEvictions_;
         if (victim.dirty) {
             ++statDirtyEvictions_;
+            const TenantId victimTenant = pageTenant(victim.tag);
             inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
-                      TrafficCat::Replacement);
+                      TrafficCat::Replacement, nullptr, victimTenant);
             offPkgBulk(pageAddr(victim.tag), pageBytes_, true,
-                       TrafficCat::Writeback);
+                       TrafficCat::Writeback, nullptr, victimTenant);
         }
     }
 
@@ -365,9 +374,11 @@ BansheeScheme::evictFrame(std::uint32_t setIdx, std::uint32_t way)
     // migration competes with demand traffic for bus time; a clean
     // page is dropped for free (its off-package copy is current).
     if (wasDirty) {
+        const TenantId tenant = pageTenant(page);
         inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
-                  TrafficCat::Migration);
-        offPkgBulk(pageAddr(page), pageBytes_, true, TrafficCat::Migration);
+                  TrafficCat::Migration, nullptr, tenant);
+        offPkgBulk(pageAddr(page), pageBytes_, true, TrafficCat::Migration,
+                   nullptr, tenant);
     }
     dir_.invalidate(setIdx, way);
     ++statResizeEvictions_;

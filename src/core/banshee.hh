@@ -94,6 +94,22 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
     }
     std::uint64_t demandAccesses() const override { return accesses(); }
     std::uint64_t demandMisses() const override { return misses(); }
+    std::uint64_t
+    demandAccessesOf(TenantId t) const override
+    {
+        return tenantAccesses(t);
+    }
+    std::uint64_t
+    demandMissesOf(TenantId t) const override
+    {
+        return tenantMisses(t);
+    }
+    /** Owner of a scheme-granularity page (slice placement + stats). */
+    TenantId
+    pageTenant(PageNum page) const override
+    {
+        return tenantOfAddr(pageAddr(page));
+    }
     void verifyResidencyConsistent() override;
 
     /** Effective replacement threshold (counter lead required). */
@@ -176,18 +192,19 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
 
     /** Algorithm 1: sampling, counter maintenance, replacement. */
     void fbrSampleAndReplace(PageNum page, std::uint32_t setIdx, bool hit,
-                             std::uint8_t hitWay);
+                             std::uint8_t hitWay, TenantId tenant);
 
     /** LRU ablation: touch on access, replace on every miss. */
     void lruTouchAndReplace(PageNum page, std::uint32_t setIdx, bool hit,
-                            std::uint8_t hitWay);
+                            std::uint8_t hitWay, TenantId tenant);
 
     /** Move @p page into (set, way); handles victim + tag buffer. */
     void executeReplacement(PageNum page, std::uint32_t setIdx,
-                            std::uint32_t way);
+                            std::uint32_t way, TenantId tenant);
 
     /** Charge a 32 B metadata read + write pair. */
-    void chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat);
+    void chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat,
+                          TenantId tenant);
 
     BansheeConfig config_;
     FbrDirectory dir_;

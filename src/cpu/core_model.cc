@@ -11,8 +11,7 @@ CoreModel::CoreModel(CoreId id, const CoreParams &params, EventQueue &eq,
                      AccessPattern &pattern, std::uint64_t rngSeed)
     : id_(id), params_(params), eq_(eq), hierarchy_(hierarchy), tlb_(tlb),
       pattern_(pattern), rng_(rngSeed),
-      codeBase_((0xC0DEull << 40) + static_cast<std::uint64_t>(id) *
-                                        params.codeBytes * 4),
+      codeBase_(codeRegionBase(id, params)),
       stats_("core" + std::to_string(id)),
       statInstrs_(stats_.counter("instructions")),
       statMemOps_(stats_.counter("memOps")),

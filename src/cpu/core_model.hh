@@ -76,6 +76,19 @@ class CoreModel
     Cycle localCycle() const { return curCycle_; }
     bool parked() const { return state_ == State::Parked; }
 
+    /**
+     * Base of core @p id's instruction-stream region. Exposed so the
+     * system builder can register [base, base + codeBytes) with the
+     * core's tenant — the single source of truth for the layout the
+     * fetch path uses.
+     */
+    static Addr
+    codeRegionBase(CoreId id, const CoreParams &params)
+    {
+        return (0xC0DEull << 40) +
+               static_cast<std::uint64_t>(id) * params.codeBytes * 4;
+    }
+
     StatSet &stats() { return stats_; }
 
   private:

@@ -84,6 +84,11 @@ DramChannel::selectNext(Pending &out)
 {
     // Write-drain hysteresis: start draining when the write queue is
     // high or there is nothing else to do; stop at the low watermark.
+    // Note this puts no bound on an individual write's wait: a
+    // co-runner that keeps the read queue nonempty can park another
+    // tenant's writes below the high watermark for a long time, and
+    // posted writes pin core MSHR slots (see ROADMAP: QoS-aware
+    // memory scheduling).
     if (!drainingWrites_) {
         if (writeQ_.size() >= kWriteDrainHigh ||
             (readQ_.empty() && !writeQ_.empty())) {
@@ -129,7 +134,7 @@ DramChannel::issue(Pending p)
         casTime = start + timing_.toCore(timing_.scaledRCD());
         bank.lastActStart = start;
         bank.openRow = row;
-        power_.onActivate(p.req.cat);
+        power_.onActivate(p.req.cat, p.req.tenant);
     } else {
         const Cycle rasDone =
             bank.lastActStart + timing_.toCore(timing_.scaledRAS());
@@ -139,9 +144,10 @@ DramChannel::issue(Pending p)
         bank.lastActStart = actStart;
         bank.openRow = row;
         ++statRowConflicts_;
-        power_.onActivate(p.req.cat);
+        power_.onActivate(p.req.cat, p.req.tenant);
     }
-    power_.onBurst(p.req.bytes, p.req.tagBytes, p.req.isWrite, p.req.cat);
+    power_.onBurst(p.req.bytes, p.req.tagBytes, p.req.isWrite, p.req.cat,
+                   p.req.tenant);
 
     const Cycle dataReady = casTime + timing_.toCore(timing_.scaledCAS());
     const Cycle transfer =
@@ -209,7 +215,8 @@ DramModel::DramModel(EventQueue &eq, DramTiming timing,
 
 void
 DramModel::bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
-                      bool isWrite, TrafficCat cat, DramDoneFn done)
+                      bool isWrite, TrafficCat cat, DramDoneFn done,
+                      TenantId tenant)
 {
     sim_assert(bytes > 0, "empty bulk access");
     const std::uint32_t chunk = kMaxRequestBytes / 2; // 256 B pieces
@@ -227,6 +234,7 @@ DramModel::bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
         req.bytes = sz;
         req.isWrite = isWrite;
         req.cat = cat;
+        req.tenant = tenant;
         if (done) {
             req.done = [outstanding, done](Cycle when) {
                 if (--*outstanding == 0)

@@ -48,6 +48,7 @@ struct DramRequest
     std::uint32_t tagBytes = 0; ///< portion of @c bytes charged to Tag
     bool isWrite = false;
     TrafficCat cat = TrafficCat::Demand;
+    TenantId tenant = kNoTenant; ///< tenant charged for traffic/energy
     DramDoneFn done;            ///< may be empty (posted writes)
 };
 
@@ -152,8 +153,8 @@ class DramModel
                    "bad DRAM request size %u", req.bytes);
         sim_assert(req.tagBytes <= req.bytes, "tag split exceeds request");
         if (req.tagBytes > 0)
-            traffic_.add(TrafficCat::Tag, req.tagBytes);
-        traffic_.add(req.cat, req.bytes - req.tagBytes);
+            traffic_.add(TrafficCat::Tag, req.tagBytes, req.tenant);
+        traffic_.add(req.cat, req.bytes - req.tagBytes, req.tenant);
         channels_[channel]->push(std::move(req));
     }
 
@@ -162,7 +163,8 @@ class DramModel
      * on @p channel; @p done fires when the last chunk completes.
      */
     void bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
-                    bool isWrite, TrafficCat cat, DramDoneFn done);
+                    bool isWrite, TrafficCat cat, DramDoneFn done,
+                    TenantId tenant = kNoTenant);
 
     std::uint32_t numChannels() const { return channels_.size(); }
 

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "tenant/tenant.hh"
+
 namespace banshee {
 
 /**
@@ -46,20 +48,33 @@ trafficCatName(TrafficCat c)
     return names[static_cast<std::size_t>(c)];
 }
 
-/** Per-category byte counters for one DRAM device. */
+/**
+ * Per-category byte counters for one DRAM device, with a per-tenant
+ * split alongside: every byte lands in exactly one category bucket
+ * and exactly one tenant bucket (untagged traffic shares the last
+ * bucket), so both breakdowns conserve the device total.
+ */
 class TrafficStats
 {
   public:
     void
-    add(TrafficCat c, std::uint64_t bytes)
+    add(TrafficCat c, std::uint64_t bytes, TenantId tenant = kNoTenant)
     {
         bytes_[static_cast<std::size_t>(c)] += bytes;
+        tenantBytes_[tenantBucket(tenant)] += bytes;
     }
 
     std::uint64_t
     bytes(TrafficCat c) const
     {
         return bytes_[static_cast<std::size_t>(c)];
+    }
+
+    /** Bytes attributed to @p tenant (kNoTenant = untagged bucket). */
+    std::uint64_t
+    tenantBytes(TenantId tenant) const
+    {
+        return tenantBytes_[tenantBucket(tenant)];
     }
 
     std::uint64_t
@@ -75,10 +90,12 @@ class TrafficStats
     reset()
     {
         bytes_.fill(0);
+        tenantBytes_.fill(0);
     }
 
   private:
     std::array<std::uint64_t, kNumTrafficCats> bytes_{};
+    std::array<std::uint64_t, kTenantBuckets> tenantBytes_{};
 };
 
 } // namespace banshee

@@ -40,6 +40,7 @@ MemSystem::buildSchemes(const SchemeFactory &factory,
         ctx.cacheBytesPerMc = params_.inPkgCapacity / params_.numMcs;
         ctx.pageTable = pageTable;
         ctx.os = os;
+        ctx.tenants = tenants_;
         ctx.seed = seed;
         schemes_.push_back(factory(ctx));
     }

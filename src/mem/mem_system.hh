@@ -46,6 +46,10 @@ class MemSystem : public MemBackend
   public:
     MemSystem(EventQueue &eq, const MemSystemParams &params);
 
+    /** Multi-tenant runs: attach the ownership map before
+     *  buildSchemes so every scheme can attribute traffic. */
+    void setTenantMap(const TenantMap *tenants) { tenants_ = tenants; }
+
     /** Install the scheme instances (one per MC) from a factory. */
     void buildSchemes(const SchemeFactory &factory,
                       PageTableManager *pageTable, OsServices *os,
@@ -92,6 +96,7 @@ class MemSystem : public MemBackend
   private:
     EventQueue &eq_;
     MemSystemParams params_;
+    const TenantMap *tenants_ = nullptr;
     std::unique_ptr<DramModel> inPkg_;
     std::unique_ptr<DramModel> offPkg_;
     std::vector<std::unique_ptr<DramCacheScheme>> schemes_;

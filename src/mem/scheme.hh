@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include <array>
+
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -25,6 +27,7 @@
 #include "mem/request.hh"
 #include "os/os_services.hh"
 #include "os/page_table.hh"
+#include "tenant/tenant_map.hh"
 
 namespace banshee {
 
@@ -43,6 +46,7 @@ struct SchemeContext
     PageTableManager *pageTable = nullptr;
     OsServices *os = nullptr;
     BatmanController *batman = nullptr; ///< optional bandwidth balancer
+    const TenantMap *tenants = nullptr; ///< null = single-tenant run
     std::uint64_t seed = 1;
 };
 
@@ -93,18 +97,47 @@ class DramCacheScheme
         return a == 0 ? 0.0 : static_cast<double>(misses()) / a;
     }
 
-    virtual void resetStats() { stats_.reset(); }
+    /** Demand accesses / misses attributed to one tenant. */
+    std::uint64_t
+    tenantAccesses(TenantId t) const
+    {
+        return tenantAccesses_[tenantBucket(t)];
+    }
+
+    std::uint64_t
+    tenantMisses(TenantId t) const
+    {
+        return tenantMisses_[tenantBucket(t)];
+    }
+
+    virtual void
+    resetStats()
+    {
+        stats_.reset();
+        tenantAccesses_.fill(0);
+        tenantMisses_.fill(0);
+    }
 
   protected:
     /** Record a demand access outcome in the common counters. */
     void
-    recordAccess(bool hit)
+    recordAccess(bool hit, TenantId tenant = kNoTenant)
     {
         ++statAccesses_;
-        if (hit)
+        ++tenantAccesses_[tenantBucket(tenant)];
+        if (hit) {
             ++statHits_;
-        else
+        } else {
             ++statMisses_;
+            ++tenantMisses_[tenantBucket(tenant)];
+        }
+    }
+
+    /** Owner of @p addr in a multi-tenant run (else kNoTenant). */
+    TenantId
+    tenantOfAddr(Addr addr) const
+    {
+        return ctx_.tenants ? ctx_.tenants->tenantOfAddr(addr) : kNoTenant;
     }
 
     /** Page-local index within this MC's stripe. */
@@ -116,33 +149,37 @@ class DramCacheScheme
 
     /** 64 B read of @p line from off-package DRAM. */
     void
-    offPkgRead64(LineAddr line, TrafficCat cat, DramDoneFn done)
+    offPkgRead64(LineAddr line, TrafficCat cat, DramDoneFn done,
+                 TenantId tenant = kNoTenant)
     {
         DramRequest req;
         req.addr = lineToAddr(line);
         req.bytes = kLineBytes;
         req.isWrite = false;
         req.cat = cat;
+        req.tenant = tenant;
         req.done = std::move(done);
         ctx_.offPkg->access(offPkgChannel(line), std::move(req));
     }
 
     /** Posted 64 B write of @p line to off-package DRAM. */
     void
-    offPkgWrite64(LineAddr line, TrafficCat cat)
+    offPkgWrite64(LineAddr line, TrafficCat cat, TenantId tenant = kNoTenant)
     {
         DramRequest req;
         req.addr = lineToAddr(line);
         req.bytes = kLineBytes;
         req.isWrite = true;
         req.cat = cat;
+        req.tenant = tenant;
         ctx_.offPkg->access(offPkgChannel(line), std::move(req));
     }
 
     /** Access on this MC's in-package channel at a device address. */
     void
     inPkgAccess(Addr deviceAddr, std::uint32_t bytes, std::uint32_t tagBytes,
-                bool isWrite, TrafficCat cat, DramDoneFn done)
+                bool isWrite, TrafficCat cat, DramDoneFn done,
+                TenantId tenant = kNoTenant)
     {
         DramRequest req;
         req.addr = deviceAddr;
@@ -150,6 +187,7 @@ class DramCacheScheme
         req.tagBytes = tagBytes;
         req.isWrite = isWrite;
         req.cat = cat;
+        req.tenant = tenant;
         req.done = std::move(done);
         ctx_.inPkg->access(ctx_.mcId, std::move(req));
     }
@@ -157,19 +195,21 @@ class DramCacheScheme
     /** Bulk (page-sized) movement on the in-package channel. */
     void
     inPkgBulk(Addr deviceAddr, std::uint64_t bytes, bool isWrite,
-              TrafficCat cat, DramDoneFn done = nullptr)
+              TrafficCat cat, DramDoneFn done = nullptr,
+              TenantId tenant = kNoTenant)
     {
         ctx_.inPkg->bulkAccess(ctx_.mcId, deviceAddr, bytes, isWrite, cat,
-                               std::move(done));
+                               std::move(done), tenant);
     }
 
     /** Bulk movement of a page's worth of off-package data. */
     void
     offPkgBulk(Addr byteAddr, std::uint64_t bytes, bool isWrite,
-               TrafficCat cat, DramDoneFn done = nullptr)
+               TrafficCat cat, DramDoneFn done = nullptr,
+               TenantId tenant = kNoTenant)
     {
         ctx_.offPkg->bulkAccess(offPkgChannel(lineOf(byteAddr)), byteAddr,
-                                bytes, isWrite, cat, std::move(done));
+                                bytes, isWrite, cat, std::move(done), tenant);
     }
 
     std::uint32_t
@@ -186,6 +226,8 @@ class DramCacheScheme
     Counter &statAccesses_;
     Counter &statHits_;
     Counter &statMisses_;
+    std::array<std::uint64_t, kTenantBuckets> tenantAccesses_{};
+    std::array<std::uint64_t, kTenantBuckets> tenantMisses_{};
 };
 
 /** Factory signature used by the system builder. */

@@ -21,14 +21,18 @@
 
 namespace banshee {
 
-/** Accumulated energy in picojoules. */
+/** Accumulated energy in picojoules. Dynamic energy is additionally
+ *  split per tenant (mirroring TrafficStats): every dynamic picojoule
+ *  lands in one category bucket and one tenant bucket, so both
+ *  breakdowns conserve the dynamic total. */
 class EnergyStats
 {
   public:
     void
-    addDynamic(TrafficCat c, double pJ)
+    addDynamic(TrafficCat c, double pJ, TenantId tenant = kNoTenant)
     {
         dynamicPJ_[static_cast<std::size_t>(c)] += pJ;
+        tenantDynamicPJ_[tenantBucket(tenant)] += pJ;
     }
 
     void addBackground(double pJ) { backgroundPJ_ += pJ; }
@@ -50,6 +54,13 @@ class EnergyStats
         return t;
     }
 
+    /** Dynamic energy attributed to @p tenant's requests. */
+    double
+    tenantDynamicPJ(TenantId tenant) const
+    {
+        return tenantDynamicPJ_[tenantBucket(tenant)];
+    }
+
     double backgroundPJ() const { return backgroundPJ_; }
     double refreshPJ() const { return refreshPJ_; }
     double activeStandbyPJ() const { return activeStandbyPJ_; }
@@ -65,6 +76,7 @@ class EnergyStats
     reset()
     {
         dynamicPJ_.fill(0.0);
+        tenantDynamicPJ_.fill(0.0);
         backgroundPJ_ = 0.0;
         refreshPJ_ = 0.0;
         activeStandbyPJ_ = 0.0;
@@ -72,6 +84,7 @@ class EnergyStats
 
   private:
     std::array<double, kNumTrafficCats> dynamicPJ_{};
+    std::array<double, kTenantBuckets> tenantDynamicPJ_{};
     double backgroundPJ_ = 0.0;
     double refreshPJ_ = 0.0;
     double activeStandbyPJ_ = 0.0;

@@ -46,23 +46,24 @@ class DramPowerModel
     // ------------------------------------------------- command hooks
     /** One row activation (and its eventual precharge). */
     void
-    onActivate(TrafficCat cat)
+    onActivate(TrafficCat cat, TenantId tenant = kNoTenant)
     {
-        energy_.addDynamic(cat, actPrePJ_);
+        energy_.addDynamic(cat, actPrePJ_, tenant);
     }
 
     /**
      * One data burst of @p bytes; the @p tagBytes portion is charged
-     * to TrafficCat::Tag, mirroring TrafficStats::add's split.
+     * to TrafficCat::Tag, mirroring TrafficStats::add's split (the
+     * whole burst stays attributed to the requesting tenant).
      */
     void
     onBurst(std::uint32_t bytes, std::uint32_t tagBytes, bool isWrite,
-            TrafficCat cat)
+            TrafficCat cat, TenantId tenant = kNoTenant)
     {
         const double perByte = isWrite ? writePJPerByte_ : readPJPerByte_;
         if (tagBytes > 0)
-            energy_.addDynamic(TrafficCat::Tag, perByte * tagBytes);
-        energy_.addDynamic(cat, perByte * (bytes - tagBytes));
+            energy_.addDynamic(TrafficCat::Tag, perByte * tagBytes, tenant);
+        energy_.addDynamic(cat, perByte * (bytes - tagBytes), tenant);
     }
 
     /** Data bus busy for @p coreCycles: active-standby delta. Kept

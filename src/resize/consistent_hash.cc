@@ -20,6 +20,7 @@ resizeStrategyName(ResizeStrategy s)
 
 ConsistentHashMapper::ConsistentHashMapper(const ConsistentHashParams &params)
     : params_(params), active_(params.numSlices, true),
+      sliceTenant_(params.numSlices, kNoTenant),
       activeCount_(params.numSlices)
 {
     sim_assert(params.numSlices > 0, "mapper needs at least one slice");
@@ -52,20 +53,30 @@ ConsistentHashMapper::setActive(std::uint32_t slice, bool active)
 }
 
 std::uint32_t
-ConsistentHashMapper::sliceOf(PageNum page) const
+ConsistentHashMapper::sliceOf(PageNum page, TenantId tenant) const
 {
     const std::uint64_t point = mix(page);
     // First vnode at or after the key's point, wrapping at the end;
-    // then walk to the first vnode of an active slice.
+    // then walk to the first vnode of an active slice the tenant may
+    // use. The first active slice of any owner is remembered as a
+    // fallback for tenants that (transiently) own nothing eligible.
     std::size_t idx =
         std::lower_bound(ring_.begin(), ring_.end(),
                          VNode{point, 0}) -
         ring_.begin();
+    std::uint32_t fallback = params_.numSlices;
     for (std::size_t step = 0; step < ring_.size(); ++step) {
         const VNode &vn = ring_[(idx + step) % ring_.size()];
-        if (active_[vn.slice])
+        if (!active_[vn.slice])
+            continue;
+        const TenantId owner = sliceTenant_[vn.slice];
+        if (tenant == kNoTenant || owner == kNoTenant || owner == tenant)
             return vn.slice;
+        if (fallback == params_.numSlices)
+            fallback = vn.slice;
     }
+    if (fallback < params_.numSlices)
+        return fallback;
     panic("consistent-hash ring has no active slice");
 }
 

@@ -15,6 +15,16 @@
  * The ring is immutable after construction; activation state is a
  * bitmap consulted during the successor walk, so resizes are O(1) and
  * lookups stay O(log ring + walk).
+ *
+ * Multi-tenant partitioning: each slice may be owned by a tenant.
+ * A tenant-tagged lookup walks to the first active slice its tenant
+ * may use (its own slices, or shared kNoTenant slices), so a tenant's
+ * pages are confined to its quota. Because every slice contributes
+ * the same number of virtual nodes, a tenant owning k of N slices
+ * owns k/N of the ring's points — its quota is its share of ring
+ * points — and the ~K/N remap bound holds per tenant: deactivating or
+ * reassigning one of a tenant's slices remaps only that slice's
+ * pages onto the tenant's remaining slices.
  */
 
 #ifndef BANSHEE_RESIZE_CONSISTENT_HASH_HH
@@ -25,6 +35,7 @@
 
 #include "common/types.hh"
 #include "resize/resize_config.hh"
+#include "tenant/tenant.hh"
 
 namespace banshee {
 
@@ -45,8 +56,38 @@ class ConsistentHashMapper
     /** Activate/deactivate a slice. At least one must stay active. */
     void setActive(std::uint32_t slice, bool active);
 
-    /** The active slice owning @p page. */
-    std::uint32_t sliceOf(PageNum page) const;
+    /** Hand slice @p slice to tenant @p t (kNoTenant = shared). */
+    void
+    setSliceTenant(std::uint32_t slice, TenantId t)
+    {
+        sliceTenant_[slice] = t;
+    }
+
+    TenantId
+    sliceTenant(std::uint32_t slice) const
+    {
+        return sliceTenant_[slice];
+    }
+
+    /** Active slices currently owned by tenant @p t. */
+    std::uint32_t
+    slicesOwnedBy(TenantId t) const
+    {
+        std::uint32_t n = 0;
+        for (std::uint32_t s = 0; s < params_.numSlices; ++s)
+            n += (active_[s] && sliceTenant_[s] == t) ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * The active slice owning @p page for tenant @p tenant: the first
+     * active slice on the successor walk that the tenant may use (its
+     * own, or a shared one). Untagged lookups (kNoTenant) accept any
+     * active slice — the single-tenant behavior. If the tenant owns
+     * no eligible slice at all, the first active slice stands in so
+     * lookups never fail during ownership transitions.
+     */
+    std::uint32_t sliceOf(PageNum page, TenantId tenant = kNoTenant) const;
 
     /** splitmix64 — the ring's key hash (exposed for tests). */
     static std::uint64_t
@@ -74,6 +115,7 @@ class ConsistentHashMapper
     ConsistentHashParams params_;
     std::vector<VNode> ring_; ///< sorted by point
     std::vector<bool> active_;
+    std::vector<TenantId> sliceTenant_; ///< kNoTenant = shared
     std::uint32_t activeCount_;
 };
 

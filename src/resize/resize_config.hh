@@ -93,7 +93,8 @@ struct ResizePolicyConfig
     {
         Schedule, ///< scripted steps (benches, tests, external control)
         Adaptive, ///< stats-fed: shrink when cold, grow when thrashing
-        PowerCap  ///< watt budget (see power/power_cap_policy.hh)
+        PowerCap, ///< watt budget (see power/power_cap_policy.hh)
+        Qos       ///< multi-tenant arbiter (see tenant/qos_arbiter.hh)
     };
 
     Kind kind = Kind::Schedule;
@@ -114,11 +115,19 @@ struct ResizePolicyConfig
     /** Ignore epochs with fewer demand accesses than this (noise). */
     std::uint64_t minEpochAccesses = 1000;
 
-    // Power-cap knobs (Kind::PowerCap).
+    // Power-cap knobs (Kind::PowerCap; also compose into Kind::Qos,
+    // where the cap sheds from the tenant furthest over quota).
     /** In-package device power budget (W); <= 0 disables the cap. */
     double powerCapWatts = 0.0;
     /** Grow hysteresis as a fraction of one slice's power share. */
     double powerGrowMargin = 1.0;
+
+    // QoS-arbiter knobs (Kind::Qos).
+    /** Never arbitrate a tenant below this many owned slices. */
+    std::uint32_t minSlicesPerTenant = 1;
+    /** Entitlement hysteresis: rebalance only when a tenant sits more
+     *  than this many slices under its weight-entitled share. */
+    double qosDeficitSlack = 0.5;
 };
 
 struct ResizeConfig
@@ -128,6 +137,13 @@ struct ResizeConfig
     ConsistentHashParams hash;
     MigrationParams migration;
     ResizePolicyConfig policy;
+    /**
+     * Multi-tenant slice partitioning: when non-empty, the slices of
+     * every domain are apportioned over these quota weights (tenant t
+     * owns its share of the ring's points) and page placement becomes
+     * tenant-aware. Filled by SystemConfig::withTenants.
+     */
+    std::vector<double> tenantWeights;
 };
 
 } // namespace banshee

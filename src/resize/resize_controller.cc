@@ -12,7 +12,8 @@ ResizeController::ResizeController(EventQueue &eq, OsServices &os,
       statStarted_(stats_.counter("resizesStarted")),
       statCompleted_(stats_.counter("resizesCompleted")),
       statEpochs_(stats_.counter("epochsEvaluated")),
-      statDeferred_(stats_.counter("decisionsDeferred"))
+      statDeferred_(stats_.counter("decisionsDeferred")),
+      statReassigns_(stats_.counter("slicesReassigned"))
 {
     sim_assert(config.enabled, "controller built with resize disabled");
     // When the batch PTE update finishes, remap slots have been
@@ -35,10 +36,43 @@ void
 ResizeController::attachPowerModel(DramPowerModel *power)
 {
     power_ = power;
+    // Seed the epoch-power baseline from the model's *current*
+    // accumulators and restart the EWMA at the next reading. Without
+    // this, a (re-)attach mid-run would compute the first epoch's
+    // power as (lifetime energy - 0) / epoch — an enormous phantom
+    // draw that trips the cap policy into a spurious cold-start shed.
+    ewmaValid_ = false;
     if (power_) {
+        prevTotalPJ_ = power_->totalEnergyPJ(eq_.now());
+        prevBgRefPJ_ = power_->energy().backgroundPJ() +
+                       power_->energy().refreshPJ();
         power_->setGatedSliceFraction(gatedFractionFor(activeSlices()),
                                       eq_.now());
     }
+}
+
+void
+ResizeController::attachTenants(TenantMap *tenants)
+{
+    tenants_ = tenants;
+    if (tenants_ && config_.policy.kind == ResizePolicyConfig::Kind::Qos) {
+        qos_ = std::make_unique<QosArbiterPolicy>(config_.policy,
+                                                  tenants_->weights());
+    }
+}
+
+void
+ResizeController::setTenantWeights(const std::vector<double> &weights)
+{
+    sim_assert(qos_ != nullptr, "weight update without a QoS arbiter");
+    sim_assert(weights.size() == tenants_->numTenants(),
+               "weight update changes the tenant count");
+    // Keep the TenantMap in step: it is what reports (RunResult,
+    // JSON) and what future arbiter rebuilds read — a quota change
+    // must not leave the two weight sources divergent.
+    for (std::uint32_t t = 0; t < tenants_->numTenants(); ++t)
+        tenants_->setWeight(static_cast<TenantId>(t), weights[t]);
+    qos_->setWeights(weights);
 }
 
 void
@@ -47,9 +81,19 @@ ResizeController::onMeasureStart()
     epochIndex_ = 0;
     prevAccesses_ = 0;
     prevMisses_ = 0;
+    prevTenantAccesses_.fill(0);
+    prevTenantMisses_.fill(0);
     for (auto &d : domains_) {
         prevAccesses_ += d->host().demandAccesses();
         prevMisses_ += d->host().demandMisses();
+        if (tenants_) {
+            for (std::uint32_t t = 0; t < tenants_->numTenants(); ++t) {
+                prevTenantAccesses_[t] +=
+                    d->host().demandAccessesOf(static_cast<TenantId>(t));
+                prevTenantMisses_[t] +=
+                    d->host().demandMissesOf(static_cast<TenantId>(t));
+            }
+        }
     }
     // The measure boundary zeroes the power model's accumulators
     // (System::resetAllStats), so epoch energy deltas restart at 0.
@@ -97,33 +141,39 @@ ResizeController::epochTick()
         epoch.avgPowerWatts = ewmaPowerWatts_;
     }
 
-    const auto target = policy_.decide(epochIndex_, epoch, activeSlices(),
-                                       totalSlices());
-    if (config_.policy.kind == ResizePolicyConfig::Kind::Schedule) {
-        if (target.has_value())
-            pendingTarget_ = *target;
+    if (qos_) {
+        qosTick(epoch);
     } else {
-        // Incremental policies (Adaptive, PowerCap) re-decide from
-        // fresh measurements every epoch: carrying a stale target
-        // across a drain would overshoot the steady state, and epochs
-        // measured mid-transition (or before the smoothed reading has
-        // settled on the new layout) are transitional — hold.
-        const bool settling = resizeInProgress() || holdEpochs_ > 0;
-        if (holdEpochs_ > 0)
-            --holdEpochs_;
-        pendingTarget_ = settling ? std::nullopt : target;
-    }
-
-    // A target that arrives while a previous transition is still
-    // draining is deferred and retried every epoch until it applies
-    // (or becomes moot), so scheduled steps are never silently lost.
-    if (pendingTarget_.has_value()) {
-        if (*pendingTarget_ == activeSlices()) {
-            pendingTarget_.reset();
-        } else if (requestResize(*pendingTarget_)) {
-            pendingTarget_.reset();
+        const auto target = policy_.decide(epochIndex_, epoch,
+                                           activeSlices(), totalSlices());
+        if (config_.policy.kind == ResizePolicyConfig::Kind::Schedule) {
+            if (target.has_value())
+                pendingTarget_ = *target;
         } else {
-            ++statDeferred_;
+            // Incremental policies (Adaptive, PowerCap) re-decide from
+            // fresh measurements every epoch: carrying a stale target
+            // across a drain would overshoot the steady state, and
+            // epochs measured mid-transition (or before the smoothed
+            // reading has settled on the new layout) are transitional
+            // — hold.
+            const bool settling = resizeInProgress() || holdEpochs_ > 0;
+            if (holdEpochs_ > 0)
+                --holdEpochs_;
+            pendingTarget_ = settling ? std::nullopt : target;
+        }
+
+        // A target that arrives while a previous transition is still
+        // draining is deferred and retried every epoch until it
+        // applies (or becomes moot), so scheduled steps are never
+        // silently lost.
+        if (pendingTarget_.has_value()) {
+            if (*pendingTarget_ == activeSlices()) {
+                pendingTarget_.reset();
+            } else if (requestResize(*pendingTarget_)) {
+                pendingTarget_.reset();
+            } else {
+                ++statDeferred_;
+            }
         }
     }
 
@@ -132,8 +182,74 @@ ResizeController::epochTick()
         eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
 }
 
+void
+ResizeController::qosTick(const ResizeEpochStats &epoch)
+{
+    const std::uint32_t n = tenants_->numTenants();
+
+    // Per-tenant demand deltas, kept current every epoch (even while
+    // settling) so a post-transition decision sees one epoch's worth.
+    std::vector<TenantEpochStats> ts(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+        std::uint64_t acc = 0;
+        std::uint64_t mis = 0;
+        for (auto &d : domains_) {
+            acc += d->host().demandAccessesOf(static_cast<TenantId>(t));
+            mis += d->host().demandMissesOf(static_cast<TenantId>(t));
+        }
+        ts[t].accesses = acc - prevTenantAccesses_[t];
+        ts[t].misses = mis - prevTenantMisses_[t];
+        prevTenantAccesses_[t] = acc;
+        prevTenantMisses_[t] = mis;
+    }
+
+    // Like the incremental scalar policies: decisions made from
+    // mid-transition measurements are transitional — hold.
+    const bool settling = resizeInProgress() || holdEpochs_ > 0;
+    if (holdEpochs_ > 0)
+        --holdEpochs_;
+    if (settling)
+        return;
+
+    std::vector<std::uint32_t> owned(n);
+    for (std::uint32_t t = 0; t < n; ++t)
+        owned[t] = slicesOwnedBy(static_cast<TenantId>(t));
+
+    const QosDecision d =
+        qos_->decide(ts, epoch, owned, activeSlices(), totalSlices());
+    if (d.targetActive.has_value())
+        requestResize(*d.targetActive, d.donor, d.receiver);
+    else if (d.reassign())
+        requestReassign(d.donor, d.receiver);
+}
+
+std::function<void()>
+ResizeController::transitionDone(Counter &completions)
+{
+    return [this, &completions] {
+        sim_assert(pendingDomains_ > 0, "stray drain completion");
+        if (--pendingDomains_ == 0) {
+            ++completions;
+            holdEpochs_ = kSettleEpochs;
+            // Reseed the running average: samples taken under the
+            // old slice layout (and the drain's migration bursts)
+            // would otherwise dominate the slow EWMA for ~1/alpha
+            // epochs and drive redundant decisions.
+            ewmaValid_ = false;
+            if (power_) {
+                power_->setGatedSliceFraction(
+                    gatedFractionFor(activeSlices()), eq_.now());
+            }
+            // Fold the transition's remaps into the PTEs promptly
+            // so TLBs reconverge on the new layout.
+            os_.requestResizeCommit();
+        }
+    };
+}
+
 bool
-ResizeController::requestResize(std::uint32_t targetSlices)
+ResizeController::requestResize(std::uint32_t targetSlices, TenantId donor,
+                                TenantId receiver)
 {
     if (resizeInProgress() || targetSlices == activeSlices() ||
         targetSlices < 1 || targetSlices > totalSlices()) {
@@ -152,27 +268,36 @@ ResizeController::requestResize(std::uint32_t targetSlices)
     }
 
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
-    for (auto &d : domains_) {
-        d->resizeTo(targetSlices, [this] {
-            sim_assert(pendingDomains_ > 0, "stray drain completion");
-            if (--pendingDomains_ == 0) {
-                ++statCompleted_;
-                holdEpochs_ = kSettleEpochs;
-                // Reseed the running average: samples taken under the
-                // old slice layout (and the drain's migration bursts)
-                // would otherwise dominate the slow EWMA for ~1/alpha
-                // epochs and drive redundant decisions.
-                ewmaValid_ = false;
-                if (power_) {
-                    power_->setGatedSliceFraction(
-                        gatedFractionFor(activeSlices()), eq_.now());
-                }
-                // Fold the transition's remaps into the PTEs promptly
-                // so TLBs reconverge on the new layout.
-                os_.requestResizeCommit();
-            }
-        });
+    for (auto &d : domains_)
+        d->resizeTo(targetSlices, transitionDone(statCompleted_), donor,
+                    receiver);
+    return true;
+}
+
+bool
+ResizeController::requestReassign(TenantId donor, TenantId receiver)
+{
+    if (resizeInProgress() || donor == receiver || donor == kNoTenant ||
+        receiver == kNoTenant || domains_.empty()) {
+        return false;
     }
+    // The arbiter checks the floor before proposing, but this entry
+    // point is public (external quota managers): never strip a donor
+    // below its slice floor — quota is a guarantee, not a default.
+    const std::uint32_t floor =
+        std::max<std::uint32_t>(config_.policy.minSlicesPerTenant, 1);
+    if (domains_[0]->slicesOwnedBy(donor) <= floor)
+        return false;
+    // Domain 0 picks the slice; the layouts are in lockstep, so the
+    // same id is the donor's on every domain.
+    const std::uint32_t slice = domains_[0]->pickDonorSlice(donor);
+    if (slice >= totalSlices())
+        return false;
+    inform("qos: slice %u moves tenant %u -> %u", slice, donor, receiver);
+
+    pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
+    for (auto &d : domains_)
+        d->reassignSlice(slice, receiver, transitionDone(statReassigns_));
     return true;
 }
 

@@ -23,6 +23,7 @@
 #ifndef BANSHEE_RESIZE_RESIZE_CONTROLLER_HH
 #define BANSHEE_RESIZE_RESIZE_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -36,6 +37,8 @@
 #include "resize/resize_config.hh"
 #include "resize/resize_domain.hh"
 #include "resize/resize_policy.hh"
+#include "tenant/qos_arbiter.hh"
+#include "tenant/tenant_map.hh"
 
 namespace banshee {
 
@@ -52,9 +55,35 @@ class ResizeController
      * Attach the in-package device's power model: deactivated slices
      * gate their share of background/refresh power, and epoch power
      * readings feed the PowerCap policy. Optional — without it,
-     * resizing works but saves no modeled energy.
+     * resizing works but saves no modeled energy. Re-attaching (or
+     * attaching mid-run) reseeds the epoch-power baseline from the
+     * model's current accumulators, so the first epoch reading is the
+     * epoch's power — not the model's lifetime energy, which would
+     * masquerade as a huge draw and trigger a spurious cap shed.
      */
     void attachPowerModel(DramPowerModel *power);
+
+    /**
+     * Multi-tenant runs: attach the tenant map. When the policy kind
+     * is Qos this builds the arbiter over the map's quota weights.
+     * Non-const: runtime quota changes (setTenantWeights) write the
+     * map so reporting stays in step with arbitration.
+     */
+    void attachTenants(TenantMap *tenants);
+
+    /** Runtime quota change: the QoS arbiter rebalances toward the
+     *  new weights over the following epochs. */
+    void setTenantWeights(const std::vector<double> &weights);
+
+    /** Active slices owned by tenant @p t (0 when unpartitioned). */
+    std::uint32_t
+    slicesOwnedBy(TenantId t) const
+    {
+        return domains_.empty() ? 0 : domains_[0]->slicesOwnedBy(t);
+    }
+
+    /** Smoothed epoch power the cap policy sees (tests). */
+    double epochPowerEwmaWatts() const { return ewmaPowerWatts_; }
 
     std::size_t numDomains() const { return domains_.size(); }
     ResizeDomain &domain(std::size_t i) { return *domains_[i]; }
@@ -67,8 +96,17 @@ class ResizeController
     void stopEpochs() { epochsStopped_ = true; }
 
     /** Manually trigger a resize (external capacity manager). Returns
-     *  false if one is already in flight or the size would not change. */
-    bool requestResize(std::uint32_t targetSlices);
+     *  false if one is already in flight or the size would not change.
+     *  @p donor / @p receiver steer whose slices shrink or grow in a
+     *  partitioned layout (kNoTenant = unrestricted). */
+    bool requestResize(std::uint32_t targetSlices,
+                       TenantId donor = kNoTenant,
+                       TenantId receiver = kNoTenant);
+
+    /** Move one of @p donor's slices to @p receiver (QoS decision or
+     *  external quota manager). Returns false when busy or the donor
+     *  owns nothing. */
+    bool requestReassign(TenantId donor, TenantId receiver);
 
     bool resizeInProgress() const { return pendingDomains_ > 0; }
 
@@ -99,10 +137,22 @@ class ResizeController
         return statCompleted_.value();
     }
 
+    std::uint64_t
+    reassignsCompleted() const
+    {
+        return statReassigns_.value();
+    }
+
     StatSet &stats() { return stats_; }
 
   private:
     void epochTick();
+
+    /** Run the QoS arbiter for this epoch and apply its decision. */
+    void qosTick(const ResizeEpochStats &epoch);
+
+    /** Completion callback shared by resizes and reassignments. */
+    std::function<void()> transitionDone(Counter &completions);
 
     /** Fraction of the device to gate for @p active of total slices. */
     double
@@ -117,6 +167,8 @@ class ResizeController
     ResizeConfig config_;
     ResizePolicy policy_;
     DramPowerModel *power_ = nullptr;
+    TenantMap *tenants_ = nullptr;
+    std::unique_ptr<QosArbiterPolicy> qos_;
     std::vector<std::unique_ptr<ResizeDomain>> domains_;
 
     std::uint64_t epochIndex_ = 0;
@@ -126,6 +178,8 @@ class ResizeController
     std::optional<std::uint32_t> pendingTarget_;
     std::uint64_t prevAccesses_ = 0;
     std::uint64_t prevMisses_ = 0;
+    std::array<std::uint64_t, kTenantBuckets> prevTenantAccesses_{};
+    std::array<std::uint64_t, kTenantBuckets> prevTenantMisses_{};
     double prevTotalPJ_ = 0.0;
     double prevBgRefPJ_ = 0.0;
     /** Running (exponentially smoothed) epoch power — the reading the
@@ -148,6 +202,7 @@ class ResizeController
     Counter &statCompleted_;
     Counter &statEpochs_;
     Counter &statDeferred_;
+    Counter &statReassigns_;
 };
 
 } // namespace banshee

@@ -40,7 +40,9 @@ class ResizeDomain
      * Resize-aware set index for @p page. @p mixedHash is the
      * scheme's existing page-placement hash, reused as the offset
      * within the slice so the no-resize layout and the 1-slice layout
-     * spread pages identically.
+     * spread pages identically. In a partitioned (multi-tenant)
+     * layout the successor walk is restricted to the page's tenant's
+     * slices, confining each tenant to its quota.
      */
     std::uint32_t
     setOf(PageNum page, std::uint64_t mixedHash) const
@@ -48,7 +50,9 @@ class ResizeDomain
         auto pin = pinned_.find(page);
         if (pin != pinned_.end())
             return pin->second;
-        const std::uint32_t slice = mapper_.sliceOf(page);
+        const std::uint32_t slice =
+            mapper_.sliceOf(page, partitioned_ ? host_.pageTenant(page)
+                                               : kNoTenant);
         return slice * setsPerSlice_ +
                static_cast<std::uint32_t>(mixedHash % setsPerSlice_);
     }
@@ -73,13 +77,43 @@ class ResizeDomain
         return setIdx / setsPerSlice_;
     }
 
+    /** True when slices are partitioned between tenants. */
+    bool partitioned() const { return partitioned_; }
+
+    /** Active slices owned by tenant @p t (partitioned layouts). */
+    std::uint32_t
+    slicesOwnedBy(TenantId t) const
+    {
+        return mapper_.slicesOwnedBy(t);
+    }
+
     /**
      * Start a transition to @p targetActive slices; @p onDone fires
      * when the drain completes. Shrinks deactivate the highest-id
      * active slices, grows reactivate the lowest-id inactive ones, so
-     * schedules are deterministic.
+     * schedules are deterministic. In a partitioned layout @p donor
+     * restricts a shrink to slices owned by that tenant, and a grown
+     * slice is handed to @p receiver (kNoTenant = unrestricted).
      */
-    void resizeTo(std::uint32_t targetActive, std::function<void()> onDone);
+    void resizeTo(std::uint32_t targetActive, std::function<void()> onDone,
+                  TenantId donor = kNoTenant,
+                  TenantId receiver = kNoTenant);
+
+    /**
+     * Highest-id active slice owned by @p donor that a reassignment
+     * or shrink may take, or numSlices when the donor has none. The
+     * controller queries domain 0 and applies the same slice to every
+     * domain so layouts stay in lockstep.
+     */
+    std::uint32_t pickDonorSlice(TenantId donor) const;
+
+    /**
+     * Hand active slice @p slice to tenant @p to and drain every
+     * resident page whose home changed — the donor's pages leave the
+     * slice, and the receiver's pages elsewhere fold into it.
+     */
+    void reassignSlice(std::uint32_t slice, TenantId to,
+                       std::function<void()> onDone);
 
     /** A frame left the cache through normal replacement; drop any
      *  pin so future accesses use the page's new home set. */
@@ -95,10 +129,15 @@ class ResizeDomain
     ResizeHost &host() { return host_; }
 
   private:
+    /** Queue every resident page whose home set changed under the
+     *  current layout and start the drain. */
+    void startDrain(std::function<void()> onDone);
+
     ResizeHost &host_;
     ConsistentHashMapper mapper_;
     MigrationEngine engine_;
     ResizeStrategy strategy_;
+    bool partitioned_ = false;
     std::uint32_t setsPerSlice_;
     /** Pages awaiting migration -> the old set they still occupy. */
     std::unordered_map<PageNum, std::uint32_t> pinned_;

@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "common/types.hh"
+#include "tenant/tenant.hh"
 
 namespace banshee {
 
@@ -64,6 +65,31 @@ class ResizeHost
     // Demand statistics feeding the resize policy.
     virtual std::uint64_t demandAccesses() const = 0;
     virtual std::uint64_t demandMisses() const = 0;
+
+    // Per-tenant demand statistics feeding the QoS arbiter. Hosts
+    // without tenant tracking report zero.
+    virtual std::uint64_t
+    demandAccessesOf(TenantId t) const
+    {
+        (void)t;
+        return 0;
+    }
+
+    virtual std::uint64_t
+    demandMissesOf(TenantId t) const
+    {
+        (void)t;
+        return 0;
+    }
+
+    /** Owner of a (scheme-granularity) page, for tenant-aware slice
+     *  placement; kNoTenant when the host has no tenant tracking. */
+    virtual TenantId
+    pageTenant(PageNum page) const
+    {
+        (void)page;
+        return kNoTenant;
+    }
 
     /** Test hook: assert directory / page-table / slice consistency. */
     virtual void verifyResidencyConsistent() = 0;

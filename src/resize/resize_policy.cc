@@ -24,6 +24,11 @@ ResizePolicy::decide(std::uint64_t epochIndex, const ResizeEpochStats &stats,
     if (config_.kind == ResizePolicyConfig::Kind::PowerCap)
         return powerCap_.decide(stats, activeSlices, totalSlices);
 
+    // Qos decisions carry donor/receiver tenants and are made by the
+    // controller's QosArbiterPolicy, not this scalar interface.
+    if (config_.kind == ResizePolicyConfig::Kind::Qos)
+        return std::nullopt;
+
     // Adaptive: need a statistically meaningful epoch to act.
     if (stats.accesses < config_.minEpochAccesses)
         return std::nullopt;

@@ -148,8 +148,32 @@ writeResultsJson(const std::string &path, const std::string &bench,
                      r.offPkgAvgPowerWatts);
         std::fprintf(f, "      \"pagesMigrated\": %llu,\n",
                      static_cast<unsigned long long>(r.pagesMigrated));
-        std::fprintf(f, "      \"finalActiveSlices\": %u\n",
+        std::fprintf(f, "      \"finalActiveSlices\": %u,\n",
                      r.finalActiveSlices);
+        std::fprintf(f, "      \"qosReassigns\": %llu,\n",
+                     static_cast<unsigned long long>(r.qosReassigns));
+        std::fprintf(f, "      \"tenants\": [");
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const TenantRunStats &ts = r.tenants[t];
+            std::fprintf(
+                f,
+                "%s\n        {\"name\": \"%s\", \"weight\": %.4f, "
+                "\"cores\": %u, \"instructions\": %llu, "
+                "\"ipc\": %.6f, \"missRate\": %.6f, "
+                "\"accesses\": %llu, \"misses\": %llu, "
+                "\"inPkgBytes\": %llu, \"offPkgBytes\": %llu, "
+                "\"inPkgDynPJ\": %.1f, \"offPkgDynPJ\": %.1f, "
+                "\"slicesOwned\": %u}",
+                t == 0 ? "" : ",", jsonEscape(ts.name).c_str(), ts.weight,
+                ts.cores, static_cast<unsigned long long>(ts.instructions),
+                ts.ipc, ts.missRate,
+                static_cast<unsigned long long>(ts.dramCacheAccesses),
+                static_cast<unsigned long long>(ts.dramCacheMisses),
+                static_cast<unsigned long long>(ts.inPkgBytes),
+                static_cast<unsigned long long>(ts.offPkgBytes),
+                ts.inPkgDynPJ, ts.offPkgDynPJ, ts.slicesOwned);
+        }
+        std::fprintf(f, "%s]\n", r.tenants.empty() ? "" : "\n      ");
         std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

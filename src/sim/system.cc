@@ -76,13 +76,54 @@ RunResult::inPkgBgRefreshPJ() const
 
 System::System(const SystemConfig &config) : config_(config)
 {
-    sim_assert(WorkloadFactory::exists(config.workload),
-               "unknown workload '%s'", config.workload.c_str());
+    if (config.tenants.empty()) {
+        sim_assert(WorkloadFactory::exists(config.workload),
+                   "unknown workload '%s'", config.workload.c_str());
+    } else {
+        tenants_ = std::make_unique<TenantMap>(config.tenants,
+                                               config.numCores);
+        for (std::uint32_t t = 0; t < tenants_->numTenants(); ++t) {
+            const TenantConfig &tc =
+                tenants_->config(static_cast<TenantId>(t));
+            sim_assert(WorkloadFactory::exists(tc.workload),
+                       "unknown workload '%s' (tenant '%s')",
+                       tc.workload.c_str(), tc.name.c_str());
+            sim_assert(!WorkloadFactory::isGraph(tc.workload),
+                       "tenant '%s': graph workloads share one heap and "
+                       "cannot be partitioned", tc.name.c_str());
+            sim_assert(tc.workload.rfind("trace:", 0) != 0,
+                       "tenant '%s': trace replay addresses were "
+                       "recorded outside the per-core regions, so they "
+                       "cannot be tenant-tagged", tc.name.c_str());
+        }
+        // Each core's private heap region belongs to its tenant, so
+        // every layer holding only an address (writebacks, the resize
+        // scan, DRAM attribution) can recover the owner. The core's
+        // code region is registered too: untagged pages walk to *any*
+        // slice of a partitioned cache, so an unowned code page would
+        // land in (and, under replace-on-miss, evict from) another
+        // tenant's quota.
+        for (CoreId c = 0; c < config.numCores; ++c) {
+            const auto region = WorkloadFactory::privateRegion(c);
+            tenants_->addRegion(region.first, region.second,
+                                tenants_->tenantOfCore(c));
+            const Addr codeBase =
+                CoreModel::codeRegionBase(c, config.core);
+            tenants_->addRegion(codeBase, codeBase + config.core.codeBytes,
+                                tenants_->tenantOfCore(c));
+        }
+        sim_assert(config.resize.tenantWeights.empty() ||
+                       config.resize.tenantWeights.size() ==
+                           tenants_->numTenants(),
+                   "resize tenant weights do not match the tenant list");
+    }
 
     pageTable_ = std::make_unique<PageTableManager>();
     os_ = std::make_unique<OsServices>(eq_, *pageTable_, config.osCosts,
                                        config.seed);
     mem_ = std::make_unique<MemSystem>(eq_, config.mem);
+    if (tenants_)
+        mem_->setTenantMap(tenants_.get());
 
     if (config.enableBatman) {
         batman_ = std::make_unique<BatmanController>(
@@ -129,6 +170,8 @@ System::System(const SystemConfig &config) : config_(config)
         }
         if (mem_->inPkg())
             resize_->attachPowerModel(&mem_->inPkg()->power());
+        if (tenants_)
+            resize_->attachTenants(tenants_.get());
     }
 
     HierarchyParams hp = config.hierarchy;
@@ -138,8 +181,17 @@ System::System(const SystemConfig &config) : config_(config)
     for (CoreId c = 0; c < config.numCores; ++c) {
         tlbs_.push_back(std::make_unique<Tlb>(
             config.tlb, *pageTable_, "tlb" + std::to_string(c)));
+        // Multi-tenant runs: each core runs its tenant's workload,
+        // partitioned over the tenant's cores.
+        std::string workload = config.workload;
+        std::uint32_t workloadCores = config.numCores;
+        if (tenants_) {
+            const TenantId t = tenants_->tenantOfCore(c);
+            workload = tenants_->config(t).workload;
+            workloadCores = tenants_->coreCount(t);
+        }
         patterns_.push_back(WorkloadFactory::create(
-            config.workload, c, config.numCores, config.footprintScale));
+            workload, c, workloadCores, config.footprintScale));
         cores_.push_back(std::make_unique<CoreModel>(
             c, config.core, eq_, *hierarchy_, *tlbs_[c], *patterns_[c],
             config.seed * 1000003ull + c));
@@ -334,6 +386,55 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
         r.dirtyPagesMigrated = resize_->dirtyPagesMigrated();
         r.migrationTagStalls = resize_->tagBufferStalls();
         r.finalActiveSlices = resize_->activeSlices();
+        r.qosReassigns = resize_->reassignsCompleted();
+    }
+
+    if (tenants_) {
+        r.tenants.resize(tenants_->numTenants());
+        for (std::uint32_t ti = 0; ti < tenants_->numTenants(); ++ti) {
+            const TenantId t = static_cast<TenantId>(ti);
+            TenantRunStats &ts = r.tenants[ti];
+            ts.name = tenants_->config(t).name;
+            ts.weight = tenants_->weight(t);
+            ts.cores = tenants_->coreCount(t);
+
+            // A tenant's IPC is its own instructions over its slowest
+            // core — the per-tenant mirror of the aggregate metric.
+            Cycle tenantCycles = 0;
+            for (CoreId c = 0; c < config_.numCores; ++c) {
+                if (tenants_->tenantOfCore(c) != t)
+                    continue;
+                tenantCycles = std::max(
+                    tenantCycles,
+                    cores_[c]->localCycle() - phaseStartCycle[c]);
+                ts.instructions +=
+                    cores_[c]->instrRetired() - phaseStartInstr[c];
+            }
+            ts.cycles = std::max<Cycle>(tenantCycles, 1);
+            ts.ipc = static_cast<double>(ts.instructions) / ts.cycles;
+
+            for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc) {
+                ts.dramCacheAccesses += mem_->scheme(mc).tenantAccesses(t);
+                ts.dramCacheMisses += mem_->scheme(mc).tenantMisses(t);
+            }
+            ts.missRate = ts.dramCacheAccesses == 0
+                              ? 0.0
+                              : static_cast<double>(ts.dramCacheMisses) /
+                                    ts.dramCacheAccesses;
+
+            if (mem_->inPkg()) {
+                ts.inPkgBytes = mem_->inPkg()->traffic().tenantBytes(t);
+                ts.inPkgDynPJ =
+                    mem_->inPkg()->power().energy().tenantDynamicPJ(t);
+            }
+            if (mem_->offPkg()) {
+                ts.offPkgBytes = mem_->offPkg()->traffic().tenantBytes(t);
+                ts.offPkgDynPJ =
+                    mem_->offPkg()->power().energy().tenantDynamicPJ(t);
+            }
+            if (resize_)
+                ts.slicesOwned = resize_->slicesOwnedBy(t);
+        }
     }
     return r;
 }

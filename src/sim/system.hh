@@ -30,9 +30,36 @@
 #include "resize/resize_controller.hh"
 #include "schemes/batman.hh"
 #include "sim/system_config.hh"
+#include "tenant/tenant_map.hh"
 #include "workload/pattern.hh"
 
 namespace banshee {
+
+/** One tenant's share of a multi-tenant run's measured statistics. */
+struct TenantRunStats
+{
+    std::string name;
+    double weight = 0.0;        ///< configured quota weight
+    std::uint32_t cores = 0;
+
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;           ///< slowest of the tenant's cores
+    double ipc = 0.0;
+
+    std::uint64_t dramCacheAccesses = 0;
+    std::uint64_t dramCacheMisses = 0;
+    double missRate = 0.0;
+
+    /** DRAM bytes attributed to this tenant's requests. */
+    std::uint64_t inPkgBytes = 0;
+    std::uint64_t offPkgBytes = 0;
+    /** Dynamic DRAM energy attributed to this tenant's requests. */
+    double inPkgDynPJ = 0.0;
+    double offPkgDynPJ = 0.0;
+
+    /** Slices owned at the end of the run (0 when unpartitioned). */
+    std::uint32_t slicesOwned = 0;
+};
 
 /** Everything measured over the measured phase of one run. */
 struct RunResult
@@ -84,6 +111,10 @@ struct RunResult
     std::uint64_t dirtyPagesMigrated = 0;
     std::uint64_t migrationTagStalls = 0;
     std::uint32_t finalActiveSlices = 0;
+    std::uint64_t qosReassigns = 0; ///< slice ownership transfers
+
+    /** Per-tenant splits (empty for single-tenant runs). */
+    std::vector<TenantRunStats> tenants;
 
     double inPkgBpi(TrafficCat c) const;
     double offPkgBpi(TrafficCat c) const;
@@ -125,6 +156,9 @@ class System
     /** Resize coordination, or nullptr when resizing is disabled. */
     ResizeController *resizeController() { return resize_.get(); }
 
+    /** Tenant ownership, or nullptr for single-tenant runs. */
+    TenantMap *tenantMap() { return tenants_.get(); }
+
     /** Zero every statistic (called at the warmup boundary). */
     void resetAllStats();
 
@@ -138,6 +172,7 @@ class System
 
     SystemConfig config_;
     EventQueue eq_;
+    std::unique_ptr<TenantMap> tenants_;
     std::unique_ptr<PageTableManager> pageTable_;
     std::unique_ptr<OsServices> os_;
     std::unique_ptr<MemSystem> mem_;

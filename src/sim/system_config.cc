@@ -105,4 +105,30 @@ SystemConfig::withPowerCap(double watts, std::uint32_t minSlices)
     return *this;
 }
 
+SystemConfig &
+SystemConfig::withTenants(std::vector<TenantConfig> list, bool partition)
+{
+    tenants = std::move(list);
+    resize.tenantWeights.clear();
+    if (partition) {
+        // Quotas ride the consistent-hash ring: partitioning implies
+        // the resize subsystem (and therefore the Banshee scheme).
+        resize.enabled = true;
+        resize.strategy = ResizeStrategy::ConsistentHash;
+        for (const TenantConfig &tc : tenants)
+            resize.tenantWeights.push_back(tc.weight);
+    }
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withQosArbiter(double capWatts)
+{
+    resize.enabled = true;
+    resize.strategy = ResizeStrategy::ConsistentHash;
+    resize.policy.kind = ResizePolicyConfig::Kind::Qos;
+    resize.policy.powerCapWatts = capWatts;
+    return *this;
+}
+
 } // namespace banshee

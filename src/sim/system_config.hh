@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "cache/hierarchy.hh"
 #include "core/banshee.hh"
 #include "cpu/core_model.hh"
@@ -29,6 +31,7 @@
 #include "schemes/batman.hh"
 #include "schemes/hma.hh"
 #include "schemes/unison.hh"
+#include "tenant/tenant.hh"
 
 namespace banshee {
 
@@ -67,6 +70,14 @@ struct SystemConfig
 
     /** Dynamic DRAM-cache resizing (Banshee scheme only). */
     ResizeConfig resize;
+
+    /**
+     * Multi-tenant mode: when non-empty, cores are split between the
+     * tenants and each tenant's cores run its own workload over its
+     * own private heap regions. See withTenants for the quota
+     * (slice-partitioning) semantics.
+     */
+    std::vector<TenantConfig> tenants;
 
     // Workload + run control.
     std::string workload = "pagerank";
@@ -115,6 +126,28 @@ struct SystemConfig
      * (PowerCapPolicy), never shrinking below @p minSlices.
      */
     SystemConfig &withPowerCap(double watts, std::uint32_t minSlices = 1);
+
+    /**
+     * Multi-tenant run: split the cores between @p list and run each
+     * tenant's workload on its cores (Banshee scheme required for
+     * quotas). With @p partition true (the default) the DRAM cache's
+     * slices are apportioned over the tenant weights — each tenant's
+     * quota is its share of the consistent-hash ring's points — and
+     * page placement confines every tenant to its quota. With
+     * @p partition false the tenants share the whole cache (the
+     * unpartitioned baseline); per-tenant statistics still split.
+     */
+    SystemConfig &withTenants(std::vector<TenantConfig> list,
+                              bool partition = true);
+
+    /**
+     * Enable the QoS arbiter on a tenant-partitioned cache: slice
+     * ownership rebalances toward the quota weights, thrashing
+     * tenants may borrow from cold ones (never below a tenant's
+     * entitlement), and an optional in-package power cap of
+     * @p capWatts sheds slices from the tenant furthest over quota.
+     */
+    SystemConfig &withQosArbiter(double capWatts = 0.0);
 };
 
 } // namespace banshee

@@ -1,0 +1,178 @@
+#include "tenant/qos_arbiter.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace banshee {
+
+QosArbiterPolicy::QosArbiterPolicy(const ResizePolicyConfig &config,
+                                   std::vector<double> weights)
+    : config_(config), weights_(std::move(weights)), powerCap_(config)
+{
+    sim_assert(!weights_.empty(), "QoS arbiter without tenants");
+}
+
+void
+QosArbiterPolicy::setWeights(std::vector<double> weights)
+{
+    sim_assert(weights.size() == weights_.size(),
+               "QoS weight update changes the tenant count");
+    weights_ = std::move(weights);
+}
+
+double
+QosArbiterPolicy::entitled(std::size_t t, std::uint32_t active) const
+{
+    double sum = 0.0;
+    for (double w : weights_)
+        sum += w;
+    return weights_[t] / sum * active;
+}
+
+QosDecision
+QosArbiterPolicy::decide(const std::vector<TenantEpochStats> &tenantStats,
+                         const ResizeEpochStats &total,
+                         const std::vector<std::uint32_t> &owned,
+                         std::uint32_t activeSlices,
+                         std::uint32_t totalSlices) const
+{
+    const std::size_t n = weights_.size();
+    sim_assert(tenantStats.size() == n && owned.size() == n,
+               "QoS arbiter input width mismatch");
+    const std::uint32_t floor =
+        std::max<std::uint32_t>(config_.minSlicesPerTenant, 1);
+
+    // ---------------------------------------- power-cap composition
+    // The cap decides the count; the arbiter decides whose slice.
+    if (const auto capTarget =
+            powerCap_.decide(total, activeSlices, totalSlices)) {
+        QosDecision d;
+        d.targetActive = *capTarget;
+        if (*capTarget < activeSlices) {
+            // Shed from the tenant furthest over its quota at the
+            // post-shed size (so repeated sheds distribute fairly).
+            double bestOver = -1e300;
+            for (std::size_t t = 0; t < n; ++t) {
+                if (owned[t] <= floor)
+                    continue;
+                const double over = static_cast<double>(owned[t]) -
+                                    entitled(t, *capTarget);
+                if (over > bestOver) {
+                    bestOver = over;
+                    d.donor = static_cast<TenantId>(t);
+                }
+            }
+            if (d.donor == kNoTenant)
+                return QosDecision{}; // every tenant at its floor
+        } else {
+            // Hand the returning slice to the largest deficit; break
+            // ties toward the tenant under more miss pressure.
+            double bestUnder = -1e300;
+            for (std::size_t t = 0; t < n; ++t) {
+                const double under = entitled(t, *capTarget) -
+                                     static_cast<double>(owned[t]) +
+                                     tenantStats[t].missRate() * 1e-3;
+                if (under > bestUnder) {
+                    bestUnder = under;
+                    d.receiver = static_cast<TenantId>(t);
+                }
+            }
+        }
+        return d;
+    }
+
+    // -------------------------------------- entitlement rebalance
+    // Ownership drifted from the weights (quota change, uneven cap
+    // shed): one slice per epoch from max surplus to max deficit.
+    double bestDeficit = config_.qosDeficitSlack;
+    double bestSurplus = 0.0;
+    std::size_t deficitT = n;
+    std::size_t surplusT = n;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double diff = entitled(t, activeSlices) -
+                            static_cast<double>(owned[t]);
+        if (diff > bestDeficit) {
+            bestDeficit = diff;
+            deficitT = t;
+        }
+        if (-diff > bestSurplus && owned[t] > floor) {
+            bestSurplus = -diff;
+            surplusT = t;
+        }
+    }
+    if (deficitT < n && surplusT < n && deficitT != surplusT) {
+        // A loan-sized deficit is not drift: while the surplus tenant
+        // is still thrashing and the deficit tenant shows no pressure
+        // of its own, reclaiming the lent slice would only flap it
+        // back and forth through a full drain every epoch. Anything
+        // beyond the one-slice lending allowance is reclaimed
+        // regardless — quota remains the steady-state guarantee.
+        const TenantEpochStats &def = tenantStats[deficitT];
+        const TenantEpochStats &sur = tenantStats[surplusT];
+        // Asymmetric evidence bar (hysteresis): granting a loan
+        // requires a full epoch's worth of borrower traffic, but
+        // *keeping* one only requires the borrower not to have gone
+        // idle — otherwise a borrower hovering around the access
+        // floor would flip the loan every other epoch.
+        const bool surplusThrashing =
+            sur.accesses > 0 && sur.missRate() > config_.growMissRate;
+        const bool deficitCold =
+            def.accesses < config_.minEpochAccesses ||
+            def.missRate() < config_.shrinkMissRate;
+        const bool loanSized =
+            bestDeficit <= 1.0 + config_.qosDeficitSlack;
+        if (!(surplusThrashing && deficitCold && loanSized)) {
+            QosDecision d;
+            d.donor = static_cast<TenantId>(surplusT);
+            d.receiver = static_cast<TenantId>(deficitT);
+            return d;
+        }
+    }
+
+    // ------------------------------------------- pressure lending
+    // A thrashing tenant may borrow one slice beyond its entitlement
+    // from a demonstrably cold tenant — but the donor never drops
+    // below one slice under its own entitlement, so quotas remain a
+    // floor a hostile tenant cannot arbitrate away.
+    std::size_t starved = n;
+    double worstMiss = config_.growMissRate;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (tenantStats[t].accesses < config_.minEpochAccesses)
+            continue;
+        if (tenantStats[t].missRate() > worstMiss) {
+            worstMiss = tenantStats[t].missRate();
+            starved = t;
+        }
+    }
+    if (starved < n) {
+        std::size_t coldest = n;
+        double coldMiss = config_.shrinkMissRate;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (t == starved || owned[t] <= floor)
+                continue;
+            if (static_cast<double>(owned[t]) <=
+                entitled(t, activeSlices) - 1.0) {
+                continue; // already lending its one-slice allowance
+            }
+            const double mr = tenantStats[t].accesses >=
+                                      config_.minEpochAccesses
+                                  ? tenantStats[t].missRate()
+                                  : 0.0;
+            if (mr < coldMiss) {
+                coldMiss = mr;
+                coldest = t;
+            }
+        }
+        if (coldest < n) {
+            QosDecision d;
+            d.donor = static_cast<TenantId>(coldest);
+            d.receiver = static_cast<TenantId>(starved);
+            return d;
+        }
+    }
+
+    return QosDecision{};
+}
+
+} // namespace banshee

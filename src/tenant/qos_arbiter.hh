@@ -1,0 +1,118 @@
+/**
+ * @file
+ * QoS arbitration of DRAM-cache slices between tenants.
+ *
+ * Layered on the resize machinery: where the scalar policies pick an
+ * active-slice *count*, the arbiter picks counts *and owners*. Once
+ * per epoch it receives each tenant's demand-traffic delta plus the
+ * device power reading and decides one of three things:
+ *
+ *  - power-cap composition: while the device is over its watt budget
+ *    the embedded PowerCapPolicy sheds one slice per epoch, and the
+ *    arbiter picks the donor — the tenant furthest over its
+ *    weight-entitled share (never below its slice floor). Grows hand
+ *    the returning slice to the tenant furthest under quota.
+ *  - entitlement rebalance: when slice ownership drifts from the
+ *    configured weights (a quota change at runtime, or a cap shrink
+ *    that landed unevenly), move one slice per epoch from the largest
+ *    surplus to the largest deficit until ownership matches the
+ *    apportionment within hysteresis slack.
+ *  - pressure lending: a tenant thrashing above growMissRate may
+ *    borrow one slice beyond its entitlement from a tenant idling
+ *    below shrinkMissRate — but a donor never lends below one slice
+ *    under its own entitlement, so quota remains a guarantee: a
+ *    streaming tenant cannot arbitrate a busy tenant below its share.
+ *
+ * Pure function of its inputs; the controller rate-limits it (one
+ * transition at a time, settle epochs after each drain).
+ */
+
+#ifndef BANSHEE_TENANT_QOS_ARBITER_HH
+#define BANSHEE_TENANT_QOS_ARBITER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "power/power_cap_policy.hh"
+#include "resize/resize_config.hh"
+#include "tenant/tenant.hh"
+
+namespace banshee {
+
+/** One tenant's demand-traffic delta over an epoch. */
+struct TenantEpochStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/** What the arbiter wants done this epoch (all fields optional). */
+struct QosDecision
+{
+    /** Change the active-slice count (power cap shed/grow). */
+    std::optional<std::uint32_t> targetActive;
+    /** Tenant losing a slice (shrinks and reassignments). */
+    TenantId donor = kNoTenant;
+    /** Tenant gaining a slice (grows and reassignments). */
+    TenantId receiver = kNoTenant;
+
+    /** A same-size ownership transfer donor -> receiver. */
+    bool
+    reassign() const
+    {
+        return !targetActive.has_value() && donor != kNoTenant &&
+               receiver != kNoTenant;
+    }
+
+    bool
+    empty() const
+    {
+        return !targetActive.has_value() && donor == kNoTenant &&
+               receiver == kNoTenant;
+    }
+};
+
+class QosArbiterPolicy
+{
+  public:
+    QosArbiterPolicy(const ResizePolicyConfig &config,
+                     std::vector<double> weights);
+
+    /** Runtime quota change; subsequent epochs rebalance toward it. */
+    void setWeights(std::vector<double> weights);
+
+    const std::vector<double> &weights() const { return weights_; }
+
+    /**
+     * Decide this epoch's action. @p tenantStats and @p owned are
+     * indexed by tenant; @p owned counts each tenant's active slices.
+     * Pure function of its inputs (testable without a system).
+     */
+    QosDecision decide(const std::vector<TenantEpochStats> &tenantStats,
+                       const ResizeEpochStats &total,
+                       const std::vector<std::uint32_t> &owned,
+                       std::uint32_t activeSlices,
+                       std::uint32_t totalSlices) const;
+
+  private:
+    /** Exact (fractional) entitlement of tenant @p t at @p active. */
+    double entitled(std::size_t t, std::uint32_t active) const;
+
+    ResizePolicyConfig config_;
+    std::vector<double> weights_;
+    PowerCapPolicy powerCap_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_TENANT_QOS_ARBITER_HH

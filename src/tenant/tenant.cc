@@ -1,0 +1,63 @@
+#include "tenant/tenant.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace banshee {
+
+std::vector<std::uint32_t>
+apportionSlices(const std::vector<double> &weights, std::uint32_t numSlices)
+{
+    const std::size_t n = weights.size();
+    sim_assert(n > 0, "apportionment over zero tenants");
+    sim_assert(numSlices >= n,
+               "%u slices cannot give %zu tenants one slice each",
+               numSlices, n);
+    double sum = 0.0;
+    for (double w : weights) {
+        sim_assert(w > 0.0, "tenant weights must be positive");
+        sum += w;
+    }
+
+    // Floor of the exact share (with the one-slice minimum), then hand
+    // the leftover slices to the largest fractional remainders.
+    std::vector<std::uint32_t> counts(n);
+    std::vector<double> remainder(n);
+    std::uint32_t assigned = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double exact = weights[t] / sum * numSlices;
+        counts[t] = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(std::floor(exact)));
+        // A tenant already boosted to the one-slice floor holds more
+        // than its exact share; letting its fractional remainder also
+        // compete for leftovers could hand it a second surplus slice
+        // (deviation > 1) at another tenant's expense.
+        remainder[t] = counts[t] > exact ? 0.0 : exact - std::floor(exact);
+        assigned += counts[t];
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return remainder[a] != remainder[b] ? remainder[a] > remainder[b]
+                                            : a < b;
+    });
+    for (std::size_t i = 0; assigned < numSlices; i = (i + 1) % n) {
+        ++counts[order[i]];
+        ++assigned;
+    }
+    // The one-slice floors can overshoot when many tiny weights round
+    // up; take the excess back from the largest holders.
+    while (assigned > numSlices) {
+        auto it = std::max_element(counts.begin(), counts.end());
+        sim_assert(*it > 1, "apportionment cannot satisfy slice floors");
+        --*it;
+        --assigned;
+    }
+    return counts;
+}
+
+} // namespace banshee

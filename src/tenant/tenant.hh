@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-tenant partitioning of the DRAM cache: core types.
+ *
+ * Banshee's page-granularity, software-managed placement makes the
+ * in-package cache a partitionable resource: pages land on slices
+ * through the consistent-hash ring (src/resize), so giving a tenant a
+ * subset of the slices — its *quota* — confines the tenant's fills,
+ * replacements and evictions to that subset. Quotas are expressed as
+ * weights; a tenant's slice count is its share of the ring's points
+ * (every slice contributes the same number of virtual nodes, so the
+ * share of slices equals the share of ring points), apportioned by
+ * the largest-remainder method with a floor of one slice per tenant.
+ */
+
+#ifndef BANSHEE_TENANT_TENANT_HH
+#define BANSHEE_TENANT_TENANT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace banshee {
+
+/** Tenant identifier. Dense and small: tenants index stat arrays. */
+using TenantId = std::uint8_t;
+
+/** "No tenant": untagged traffic, shared slices, disabled features. */
+constexpr TenantId kNoTenant = 0xff;
+
+/** Upper bound on concurrently configured tenants (stat array size). */
+constexpr std::size_t kMaxTenants = 8;
+
+/**
+ * Stat-bucket index for a tenant id: real tenants map to their own
+ * bucket, everything else (kNoTenant, overflow) shares the last one,
+ * so per-bucket sums always conserve the total.
+ */
+constexpr std::size_t
+tenantBucket(TenantId t)
+{
+    return t < kMaxTenants ? t : kMaxTenants;
+}
+
+/** Buckets per per-tenant stat array: kMaxTenants + the shared one. */
+constexpr std::size_t kTenantBuckets = kMaxTenants + 1;
+
+/** One tenant of a multi-tenant run. */
+struct TenantConfig
+{
+    std::string name;      ///< label in reports
+    std::string workload;  ///< WorkloadFactory name its cores run
+    double weight = 1.0;   ///< quota share (normalized over tenants)
+    /** Cores owned by this tenant; 0 = equal split of the leftover. */
+    std::uint32_t numCores = 0;
+};
+
+/**
+ * Largest-remainder apportionment of @p numSlices slices over tenant
+ * @p weights, each tenant receiving at least one slice. The returned
+ * counts sum to numSlices and deviate from the exact proportional
+ * share by less than one slice.
+ */
+std::vector<std::uint32_t> apportionSlices(const std::vector<double> &weights,
+                                           std::uint32_t numSlices);
+
+} // namespace banshee
+
+#endif // BANSHEE_TENANT_TENANT_HH

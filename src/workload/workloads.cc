@@ -149,6 +149,21 @@ makeSpec(const std::string &name, CoreId core, double scale)
     }
     if (name == "bzip2")
         return zipf(base, scaled(12, scale), 0.5, 16, 0.25, 6);
+    // Tenant-mix building blocks (bench/ext_tenant, tests):
+    //  - qos_resident: slow repeated sweeps of a region that fits a
+    //    modest slice quota but overflows the SRAM L3, so its
+    //    residency rides entirely on the DRAM cache. Its long think
+    //    gaps keep its pages' FBR counters low — cache-friendly, yet
+    //    sure to lose a frequency race;
+    //  - qos_churn: an intense stream over a heap larger than the
+    //    whole device. Each page bursts 64 accesses per sweep,
+    //    out-counting the resident's leisurely revisits in the FBR
+    //    directory — eviction pressure the frequency policy *admits*,
+    //    which is exactly what only a capacity quota can fence off.
+    if (name == "qos_resident")
+        return stream(base, scaled(4, scale), 0.25, 8);
+    if (name == "qos_churn")
+        return stream(base, scaled(24, scale), 0.25, 2);
     if (name == "leslie")
         return rwStream(base, 18, 6, 4, scale);
     if (name == "cactus") {
@@ -257,7 +272,21 @@ WorkloadFactory::allNames()
     std::vector<std::string> names = paperNames();
     for (const char *extra : {"gems", "bzip2", "leslie", "cactus"})
         names.emplace_back(extra);
+    for (const auto &n : tenantNames())
+        names.push_back(n);
     return names;
+}
+
+std::vector<std::string>
+WorkloadFactory::tenantNames()
+{
+    return {"qos_resident", "qos_churn"};
+}
+
+std::pair<Addr, Addr>
+WorkloadFactory::privateRegion(CoreId core)
+{
+    return {privateBase(core), privateBase(core + 1)};
 }
 
 bool

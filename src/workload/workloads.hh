@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +43,17 @@ class WorkloadFactory
 
     /** All names accepted by create(), including mix components. */
     static std::vector<std::string> allNames();
+
+    /** Tenant-mix building blocks (cache-resident vs cache-hostile). */
+    static std::vector<std::string> tenantNames();
+
+    /**
+     * Private heap region [base, limit) of @p core's SPEC-style
+     * workloads — the address range a multi-tenant run registers as
+     * owned by the core's tenant. Graph workloads use a shared heap
+     * outside every private region and cannot be partitioned.
+     */
+    static std::pair<Addr, Addr> privateRegion(CoreId core);
 
     static bool exists(const std::string &name);
 

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Property/fuzz pass over the consistent-hash ring and the tenant
+ * quota apportionment — the invariants every resize and QoS decision
+ * leans on, asserted over randomized geometries instead of the
+ * hand-picked configurations of test_resize.cc:
+ *
+ *  - remap bound: deactivating K of N active slices remaps only the
+ *    removed slices' pages (~K/N of keys, within the ring's vnode
+ *    variance), survivors never move, nothing maps to an inactive
+ *    slice;
+ *  - history independence: the mapping is a pure function of the
+ *    current activation set — any toggle sequence reaching the same
+ *    set yields the same mapping (what makes grow-after-shrink
+ *    restore residents exactly);
+ *  - ownership is a partition: apportionSlices covers every slice
+ *    exactly once with a one-slice floor, and tenant-tagged lookups
+ *    land only on the tenant's own slices;
+ *  - weighted-quota proportionality: a tenant owning k of N equal-
+ *    vnode slices receives ~k/N of the untagged key space, and its
+ *    apportioned k stays within one slice of its exact weighted
+ *    share.
+ *
+ * Every property runs over kSeeds randomized (numSlices,
+ * vnodesPerSlice, ringSeed, weights, activation-sequence) draws; a
+ * failure message names the seed so a counterexample replays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "resize/consistent_hash.hh"
+#include "tenant/tenant.hh"
+
+namespace banshee {
+namespace {
+
+constexpr std::uint64_t kSeeds = 100;
+constexpr int kKeys = 20000;
+
+/** Randomized ring geometry for one property draw. */
+ConsistentHashParams
+randomParams(std::mt19937_64 &rng)
+{
+    ConsistentHashParams p;
+    p.numSlices = std::uniform_int_distribution<std::uint32_t>(2, 32)(rng);
+    p.vnodesPerSlice =
+        std::uniform_int_distribution<std::uint32_t>(16, 128)(rng);
+    p.ringSeed = rng();
+    return p;
+}
+
+/**
+ * Statistical slack for a ring-share assertion: the share of m of the
+ * N equal-vnode slices has mean m/N and a vnode-placement standard
+ * deviation of roughly sqrt(m) / (N * sqrt(v)); five sigmas (plus key
+ * sampling noise) keeps 100 random draws comfortably inside while
+ * still rejecting any systematic bias.
+ */
+double
+shareTolerance(std::uint32_t m, std::uint32_t n, std::uint32_t vnodes)
+{
+    return 0.02 + 5.0 * std::sqrt(static_cast<double>(m)) /
+                      (n * std::sqrt(static_cast<double>(vnodes)));
+}
+
+TEST(ConsistentHashProp, ShrinkRemapBoundHoldsOverRandomGeometries)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        std::mt19937_64 rng(seed);
+        const ConsistentHashParams p = randomParams(rng);
+        ConsistentHashMapper m(p);
+
+        std::vector<std::uint32_t> before(kKeys);
+        for (int k = 0; k < kKeys; ++k)
+            before[k] = m.sliceOf(static_cast<PageNum>(k));
+
+        // Deactivate a random K of the N slices (leaving >= 1).
+        const std::uint32_t kOut =
+            std::uniform_int_distribution<std::uint32_t>(
+                1, p.numSlices - 1)(rng);
+        std::vector<std::uint32_t> ids(p.numSlices);
+        std::iota(ids.begin(), ids.end(), 0u);
+        std::shuffle(ids.begin(), ids.end(), rng);
+        std::vector<bool> removed(p.numSlices, false);
+        for (std::uint32_t i = 0; i < kOut; ++i) {
+            removed[ids[i]] = true;
+            m.setActive(ids[i], false);
+        }
+
+        int remapped = 0;
+        for (int k = 0; k < kKeys; ++k) {
+            const std::uint32_t after = m.sliceOf(static_cast<PageNum>(k));
+            ASSERT_FALSE(removed[after])
+                << "seed " << seed << ": key " << k
+                << " maps to deactivated slice " << after;
+            if (removed[before[k]]) {
+                ++remapped;
+            } else {
+                ASSERT_EQ(after, before[k])
+                    << "seed " << seed << ": surviving slice's key moved";
+            }
+        }
+
+        const double frac = static_cast<double>(remapped) / kKeys;
+        const double share =
+            static_cast<double>(kOut) / p.numSlices;
+        const double tol =
+            shareTolerance(kOut, p.numSlices, p.vnodesPerSlice);
+        EXPECT_NEAR(frac, share, tol)
+            << "seed " << seed << ": removed " << kOut << "/"
+            << p.numSlices << " slices (" << p.vnodesPerSlice
+            << " vnodes)";
+    }
+}
+
+TEST(ConsistentHashProp, MappingIsHistoryIndependent)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        std::mt19937_64 rng(seed);
+        const ConsistentHashParams p = randomParams(rng);
+        ConsistentHashMapper walked(p);
+
+        // A random toggle walk (never emptying the active set)...
+        const int steps =
+            std::uniform_int_distribution<int>(4, 40)(rng);
+        for (int i = 0; i < steps; ++i) {
+            const std::uint32_t s =
+                std::uniform_int_distribution<std::uint32_t>(
+                    0, p.numSlices - 1)(rng);
+            if (walked.isActive(s)) {
+                if (walked.activeSlices() > 1)
+                    walked.setActive(s, false);
+            } else {
+                walked.setActive(s, true);
+            }
+        }
+
+        // ...must land on the same mapping as a fresh ring put
+        // directly into the final activation state.
+        ConsistentHashMapper fresh(p);
+        for (std::uint32_t s = 0; s < p.numSlices; ++s) {
+            if (!walked.isActive(s))
+                fresh.setActive(s, false);
+        }
+        ASSERT_EQ(fresh.activeSlices(), walked.activeSlices());
+        for (int k = 0; k < kKeys; ++k) {
+            ASSERT_EQ(fresh.sliceOf(static_cast<PageNum>(k)),
+                      walked.sliceOf(static_cast<PageNum>(k)))
+                << "seed " << seed << ": key " << k;
+        }
+    }
+}
+
+TEST(ConsistentHashProp, ApportionmentIsAPartitionWithAFloor)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        std::mt19937_64 rng(seed);
+        const std::uint32_t numSlices =
+            std::uniform_int_distribution<std::uint32_t>(4, 64)(rng);
+        const std::size_t tenants =
+            std::uniform_int_distribution<std::size_t>(
+                1, std::min<std::uint32_t>(numSlices, 8))(rng);
+        std::vector<double> weights(tenants);
+        double sum = 0.0;
+        for (double &w : weights) {
+            w = std::uniform_real_distribution<double>(0.05, 8.0)(rng);
+            sum += w;
+        }
+
+        const auto counts = apportionSlices(weights, numSlices);
+        ASSERT_EQ(counts.size(), tenants) << "seed " << seed;
+
+        std::uint32_t total = 0;
+        for (std::size_t t = 0; t < tenants; ++t) {
+            EXPECT_GE(counts[t], 1u)
+                << "seed " << seed << ": tenant " << t
+                << " lost its slice floor";
+            total += counts[t];
+        }
+        EXPECT_EQ(total, numSlices)
+            << "seed " << seed << ": counts do not partition the slices";
+
+        // Proportionality: within one slice of the exact weighted
+        // share whenever the one-slice floor is not binding.
+        for (std::size_t t = 0; t < tenants; ++t) {
+            const double exact = weights[t] / sum * numSlices;
+            if (exact >= 1.0) {
+                EXPECT_LT(std::abs(counts[t] - exact), 1.0 + 1e-9)
+                    << "seed " << seed << ": tenant " << t << " got "
+                    << counts[t] << " for exact share " << exact;
+            }
+        }
+    }
+
+    // Regression: a tenant boosted to the one-slice floor must not
+    // also win a largest-remainder slice (it already holds more than
+    // its exact share; its fractional remainder is spent).
+    EXPECT_EQ(apportionSlices({0.9, 4.5, 4.6}, 10),
+              (std::vector<std::uint32_t>{1, 4, 5}));
+}
+
+TEST(ConsistentHashProp, TenantLookupsRespectOwnershipAndQuota)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        std::mt19937_64 rng(seed);
+        ConsistentHashParams p = randomParams(rng);
+        p.numSlices = std::max(p.numSlices, 4u);
+        ConsistentHashMapper m(p);
+
+        const std::size_t tenants =
+            std::uniform_int_distribution<std::size_t>(2, 4)(rng);
+        std::vector<double> weights(tenants);
+        for (double &w : weights)
+            w = std::uniform_real_distribution<double>(0.2, 4.0)(rng);
+        const auto counts = apportionSlices(weights, p.numSlices);
+
+        std::uint32_t next = 0;
+        for (std::size_t t = 0; t < tenants; ++t) {
+            for (std::uint32_t i = 0; i < counts[t]; ++i)
+                m.setSliceTenant(next++, static_cast<TenantId>(t));
+        }
+
+        // Every tenant-tagged key lands on a slice its tenant owns,
+        // and the tenant's share of the *untagged* key space matches
+        // its slice count (equal vnodes per slice = quota in ring
+        // points).
+        std::vector<int> untaggedPerTenant(tenants, 0);
+        for (int k = 0; k < kKeys; ++k) {
+            const PageNum page = static_cast<PageNum>(k);
+            for (std::size_t t = 0; t < tenants; ++t) {
+                const std::uint32_t s =
+                    m.sliceOf(page, static_cast<TenantId>(t));
+                ASSERT_EQ(m.sliceTenant(s), static_cast<TenantId>(t))
+                    << "seed " << seed << ": tenant " << t
+                    << " escaped its quota to slice " << s;
+            }
+            ++untaggedPerTenant[m.sliceTenant(m.sliceOf(page))];
+        }
+        for (std::size_t t = 0; t < tenants; ++t) {
+            const double got =
+                static_cast<double>(untaggedPerTenant[t]) / kKeys;
+            const double want =
+                static_cast<double>(counts[t]) / p.numSlices;
+            EXPECT_NEAR(got, want,
+                        shareTolerance(counts[t], p.numSlices,
+                                       p.vnodesPerSlice))
+                << "seed " << seed << ": tenant " << t << " owns "
+                << counts[t] << "/" << p.numSlices << " slices";
+        }
+
+        // Per-tenant remap bound: deactivating one of a tenant's k
+        // slices remaps only that slice's keys, onto the tenant's
+        // remaining slices.
+        std::size_t victim = tenants;
+        for (std::size_t t = 0; t < tenants; ++t) {
+            if (counts[t] >= 2) {
+                victim = t;
+                break;
+            }
+        }
+        if (victim == tenants)
+            continue; // every tenant at its floor in this draw
+        std::vector<std::uint32_t> before(kKeys);
+        for (int k = 0; k < kKeys; ++k) {
+            before[k] = m.sliceOf(static_cast<PageNum>(k),
+                                  static_cast<TenantId>(victim));
+        }
+        std::uint32_t lost = 0;
+        for (std::uint32_t s = 0; s < p.numSlices; ++s) {
+            if (m.sliceTenant(s) == static_cast<TenantId>(victim)) {
+                lost = s;
+                m.setActive(s, false);
+                break;
+            }
+        }
+        for (int k = 0; k < kKeys; ++k) {
+            const std::uint32_t after =
+                m.sliceOf(static_cast<PageNum>(k),
+                          static_cast<TenantId>(victim));
+            ASSERT_EQ(m.sliceTenant(after), static_cast<TenantId>(victim))
+                << "seed " << seed;
+            if (before[k] != lost) {
+                ASSERT_EQ(after, before[k])
+                    << "seed " << seed
+                    << ": tenant's surviving-slice key moved";
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace banshee
