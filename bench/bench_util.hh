@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared plumbing for the bench binaries: run-length presets, CLI
- * parsing (--quick / --full / --workloads a,b,c / --json path), and
- * result lookup.
+ * parsing (--quick / --full / --workloads a,b,c / --json path /
+ * --telemetry path / --verbose), and result lookup.
  */
 
 #ifndef BANSHEE_BENCH_BENCH_UTIL_HH
@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/system_config.hh"
@@ -39,16 +40,19 @@ struct BenchOptions
  *   --workloads a,b  restrict the workload list
  *   --threads N      worker threads
  *   --json path      also emit machine-readable results (BENCH_*.json)
+ *   --telemetry path epoch-resolved JSONL trace (telemetry_summary.py)
+ *   --verbose / -v   raise log verbosity (also: BANSHEE_LOG env var)
  */
 inline BenchOptions
 parseArgs(int argc, char **argv)
 {
     BenchOptions opt;
-    auto usage = [argv](const char *why) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], why);
+    auto usage = [argv](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
         std::fprintf(stderr,
                      "usage: %s [--quick] [--full] "
-                     "[--workloads a,b,c] [--threads N] [--json path]\n",
+                     "[--workloads a,b,c] [--threads N] [--json path] "
+                     "[--telemetry path] [--verbose|-v]\n",
                      argv[0]);
         std::exit(1);
     };
@@ -80,8 +84,12 @@ parseArgs(int argc, char **argv)
             opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            opt.base.withTelemetry(argv[++i]);
+        } else if (arg == "--verbose" || arg == "-v") {
+            ++banshee::logVerbosity;
         } else {
-            usage("unknown or incomplete argument");
+            usage("unknown or incomplete argument '" + arg + "'");
         }
     }
     return opt;

@@ -1,11 +1,36 @@
 #include "common/log.hh"
 
 #include <cstdarg>
+#include <cstring>
 #include <vector>
 
 namespace banshee {
 
-int logVerbosity = 1;
+namespace {
+
+/** Startup verbosity from BANSHEE_LOG (see log.hh). */
+int
+verbosityFromEnv()
+{
+    const char *env = std::getenv("BANSHEE_LOG");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "quiet") == 0)
+        return 0;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "info") == 0)
+        return 1;
+    if (std::strcmp(env, "2") == 0 || std::strcmp(env, "debug") == 0)
+        return 2;
+    std::fprintf(stderr,
+                 "[warn] BANSHEE_LOG='%s' not understood "
+                 "(want 0/quiet, 1/info or 2/debug); using 1\n",
+                 env);
+    return 1;
+}
+
+} // namespace
+
+int logVerbosity = verbosityFromEnv();
 
 namespace detail {
 

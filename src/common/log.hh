@@ -31,7 +31,11 @@ std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace detail
 
-/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+/**
+ * Global verbosity: 0 = quiet, 1 = inform, 2 = debug. Initialized
+ * from the BANSHEE_LOG environment variable at startup ("0"/"quiet",
+ * "1"/"info", "2"/"debug"); defaults to 1.
+ */
 extern int logVerbosity;
 
 } // namespace banshee
@@ -50,6 +54,21 @@ extern int logVerbosity;
 #define warn(...)                                                           \
     ::banshee::detail::logMessage("warn",                                   \
                                   ::banshee::detail::format(__VA_ARGS__))
+
+/**
+ * Like warn(), but fires at most once per call site for the lifetime
+ * of the process — for conditions re-detected every epoch (telemetry
+ * write failures, per-epoch policy anomalies) that would otherwise
+ * flood long runs.
+ */
+#define warn_once(...)                                                      \
+    do {                                                                    \
+        static bool banshee_warned_once_ = false;                           \
+        if (!banshee_warned_once_) {                                        \
+            banshee_warned_once_ = true;                                    \
+            warn(__VA_ARGS__);                                              \
+        }                                                                   \
+    } while (0)
 
 #define inform(...)                                                         \
     do {                                                                    \

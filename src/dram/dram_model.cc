@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "telemetry/dram_hooks.hh"
+
 namespace banshee {
 
 //
@@ -24,6 +26,13 @@ DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
 void
 DramChannel::push(DramRequest req)
 {
+    if (telem_) {
+        // Queue depth this request finds on arrival.
+        if (req.isWrite)
+            telem_->writeOccupancy.record(writeQ_.size());
+        else
+            telem_->readOccupancy.record(readQ_.size());
+    }
     Pending p{std::move(req), eq_.now(), seq_++};
     if (p.req.isWrite)
         writeQ_.push_back(std::move(p));
@@ -166,6 +175,14 @@ DramChannel::issue(Pending p)
 
     ++statReqs_;
     statTotalLatency_ += complete - p.arrival;
+    if (telem_) {
+        const Cycle sojourn = complete - p.arrival;
+        telem_->queueLatency.record(sojourn);
+        if (telem_->tenantQueueLatency) {
+            telem_->tenantQueueLatency[tenantBucket(p.req.tenant)].record(
+                sojourn);
+        }
+    }
 
     if (p.req.done) {
         DramDoneFn done = std::move(p.req.done);
@@ -178,6 +195,7 @@ DramChannel::issue(Pending p)
 void
 DramChannel::kick()
 {
+    ScopedTimer profile(telem_ ? telem_->kickTimer : nullptr);
     // Issue requests while the bus reservation horizon allows; bank
     // preparation of later picks overlaps earlier transfers.
     const Cycle horizon =

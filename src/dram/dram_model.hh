@@ -35,6 +35,8 @@
 
 namespace banshee {
 
+struct ChannelTelemetry; // telemetry/dram_hooks.hh
+
 /** Completion callback: invoked with the cycle the data finished. */
 using DramDoneFn = std::function<void(Cycle)>;
 
@@ -67,6 +69,10 @@ class DramChannel
 
     std::size_t queuedReads() const { return readQ_.size(); }
     std::size_t queuedWrites() const { return writeQ_.size(); }
+
+    /** Attach (or detach with nullptr) telemetry distributions; null
+     *  keeps the scheduler free of telemetry work. */
+    void setTelemetry(ChannelTelemetry *telem) { telem_ = telem; }
 
     void resetStats() { busBusyCycles_ = 0; }
 
@@ -107,6 +113,7 @@ class DramChannel
     const DramTiming &timing_;
     TrafficStats &traffic_;
     DramPowerModel &power_;
+    ChannelTelemetry *telem_ = nullptr;
     std::string name_;
 
     std::vector<Bank> banks_;
@@ -167,6 +174,9 @@ class DramModel
                     TenantId tenant = kNoTenant);
 
     std::uint32_t numChannels() const { return channels_.size(); }
+
+    /** Direct channel access (telemetry attach, tests). */
+    DramChannel &channel(std::uint32_t i) { return *channels_[i]; }
 
     const DramTiming &timing() const { return timing_; }
 

@@ -50,6 +50,7 @@ void
 MemSystem::fetchLine(LineAddr line, const MappingInfo &mapping, CoreId core,
                      MissDoneFn done)
 {
+    ScopedTimer profile(fetchTimer_);
     ++statFetches_;
     const Cycle issued = eq_.now();
     schemes_[mcOf(line)]->demandFetch(

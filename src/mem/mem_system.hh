@@ -17,6 +17,7 @@
 #include "dram/dram_model.hh"
 #include "mem/request.hh"
 #include "mem/scheme.hh"
+#include "telemetry/scoped_timer.hh"
 
 namespace banshee {
 
@@ -49,6 +50,10 @@ class MemSystem : public MemBackend
     /** Multi-tenant runs: attach the ownership map before
      *  buildSchemes so every scheme can attribute traffic. */
     void setTenantMap(const TenantMap *tenants) { tenants_ = tenants; }
+
+    /** Attach (or detach with nullptr) a host-time profile of the
+     *  scheme-side fetch path (demandFetch dispatch, not completion). */
+    void setFetchTimer(PhaseTimer *timer) { fetchTimer_ = timer; }
 
     /** Install the scheme instances (one per MC) from a factory. */
     void buildSchemes(const SchemeFactory &factory,
@@ -97,6 +102,7 @@ class MemSystem : public MemBackend
     EventQueue &eq_;
     MemSystemParams params_;
     const TenantMap *tenants_ = nullptr;
+    PhaseTimer *fetchTimer_ = nullptr;
     std::unique_ptr<DramModel> inPkg_;
     std::unique_ptr<DramModel> offPkg_;
     std::vector<std::unique_ptr<DramCacheScheme>> schemes_;

@@ -55,6 +55,8 @@ MigrationEngine::armTick(Cycle delay)
     // superseded so a kick() can cut a stall's back-off short — the
     // stale event is disarmed by the cycle check below.
     const Cycle when = eq_.now() + delay;
+    if (batchLat_ && batchStart_ == kNoCycle)
+        batchStart_ = eq_.now();
     if (tickArmed_ && tickCycle_ <= when)
         return;
     tickArmed_ = true;
@@ -104,6 +106,13 @@ MigrationEngine::tick()
         ++statDrained_;
         if (onPageDone_)
             onPageDone_(f.page);
+    }
+
+    // A full batch made it through (stall returns above keep the batch
+    // open): arm-to-now includes any retry back-offs it suffered.
+    if (batchLat_ && batchStart_ != kNoCycle) {
+        batchLat_->record(eq_.now() - batchStart_);
+        batchStart_ = kNoCycle;
     }
 
     if (pending_.empty()) {

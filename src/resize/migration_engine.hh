@@ -24,6 +24,7 @@
 #include "common/stats.hh"
 #include "resize/resize_config.hh"
 #include "resize/resize_host.hh"
+#include "telemetry/histogram.hh"
 
 namespace banshee {
 
@@ -56,6 +57,11 @@ class MigrationEngine
     std::uint64_t pagesSkipped() const { return statSkipped_.value(); }
     std::uint64_t tagBufferStalls() const { return statStalls_.value(); }
 
+    /** Attach (or detach with nullptr) a drain-batch latency
+     *  distribution: arm-to-completion time of each batch, so tag
+     *  buffer stalls show up as a stretched tail. */
+    void setTelemetry(Histogram *batchLat) { batchLat_ = batchLat; }
+
     StatSet &stats() { return stats_; }
 
   private:
@@ -80,6 +86,8 @@ class MigrationEngine
     bool active_ = false;
     bool tickArmed_ = false;
     Cycle tickCycle_ = 0; ///< cycle of the pending tick, if armed
+    Histogram *batchLat_ = nullptr;
+    Cycle batchStart_ = kNoCycle; ///< arming cycle of the current batch
 
     StatSet stats_;
     Counter &statDrained_;

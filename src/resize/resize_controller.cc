@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "telemetry/telemetry.hh"
 
 namespace banshee {
 
@@ -146,6 +147,19 @@ ResizeController::epochTick()
     } else {
         const auto target = policy_.decide(epochIndex_, epoch,
                                            activeSlices(), totalSlices());
+        if (telem_ && target.has_value() && *target != activeSlices()) {
+            if (config_.policy.kind == ResizePolicyConfig::Kind::PowerCap &&
+                *target < activeSlices()) {
+                telem_->event("powercap_shed",
+                              {{"from", activeSlices()},
+                               {"to", *target},
+                               {"watts", epoch.avgPowerWatts},
+                               {"capWatts", config_.policy.powerCapWatts}});
+            } else {
+                telem_->event("resize_target",
+                              {{"from", activeSlices()}, {"to", *target}});
+            }
+        }
         if (config_.policy.kind == ResizePolicyConfig::Kind::Schedule) {
             if (target.has_value())
                 pendingTarget_ = *target;
@@ -217,6 +231,23 @@ ResizeController::qosTick(const ResizeEpochStats &epoch)
 
     const QosDecision d =
         qos_->decide(ts, epoch, owned, activeSlices(), totalSlices());
+    if (telem_ && !d.empty()) {
+        if (d.targetActive.has_value()) {
+            telem_->event("qos_resize",
+                          {{"from", activeSlices()},
+                           {"to", *d.targetActive},
+                           {"donor", d.donor},
+                           {"receiver", d.receiver},
+                           {"reason", qosReasonName(d.reason)},
+                           {"watts", epoch.avgPowerWatts},
+                           {"capWatts", config_.policy.powerCapWatts}});
+        } else if (d.reassign()) {
+            telem_->event("qos_reassign",
+                          {{"donor", d.donor},
+                           {"receiver", d.receiver},
+                           {"reason", qosReasonName(d.reason)}});
+        }
+    }
     if (d.targetActive.has_value())
         requestResize(*d.targetActive, d.donor, d.receiver);
     else if (d.reassign())
@@ -224,12 +255,19 @@ ResizeController::qosTick(const ResizeEpochStats &epoch)
 }
 
 std::function<void()>
-ResizeController::transitionDone(Counter &completions)
+ResizeController::transitionDone(Counter &completions,
+                                 const char *traceEvent)
 {
-    return [this, &completions] {
+    return [this, &completions, traceEvent] {
         sim_assert(pendingDomains_ > 0, "stray drain completion");
         if (--pendingDomains_ == 0) {
             ++completions;
+            if (telem_) {
+                telem_->event(traceEvent,
+                              {{"activeSlices", activeSlices()},
+                               {"pagesMigrated", pagesMigrated()},
+                               {"tagBufferStalls", tagBufferStalls()}});
+            }
             holdEpochs_ = kSettleEpochs;
             // Reseed the running average: samples taken under the
             // old slice layout (and the drain's migration bursts)
@@ -258,6 +296,14 @@ ResizeController::requestResize(std::uint32_t targetSlices, TenantId donor,
     ++statStarted_;
     inform("resize: %u -> %u active slices (%s)", activeSlices(),
            targetSlices, resizeStrategyName(config_.strategy));
+    if (telem_) {
+        telem_->event("resize_start",
+                      {{"from", activeSlices()},
+                       {"to", targetSlices},
+                       {"strategy", resizeStrategyName(config_.strategy)},
+                       {"donor", donor},
+                       {"receiver", receiver}});
+    }
 
     // Growing? The incoming slices must power up (and refresh) before
     // any data lands in them. Shrinking slices stay powered until the
@@ -269,7 +315,8 @@ ResizeController::requestResize(std::uint32_t targetSlices, TenantId donor,
 
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
     for (auto &d : domains_)
-        d->resizeTo(targetSlices, transitionDone(statCompleted_), donor,
+        d->resizeTo(targetSlices,
+                    transitionDone(statCompleted_, "resize_commit"), donor,
                     receiver);
     return true;
 }
@@ -297,7 +344,8 @@ ResizeController::requestReassign(TenantId donor, TenantId receiver)
 
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
     for (auto &d : domains_)
-        d->reassignSlice(slice, receiver, transitionDone(statReassigns_));
+        d->reassignSlice(slice, receiver,
+                         transitionDone(statReassigns_, "reassign_commit"));
     return true;
 }
 

@@ -42,6 +42,8 @@
 
 namespace banshee {
 
+class Telemetry; // telemetry/telemetry.hh
+
 class ResizeController
 {
   public:
@@ -74,6 +76,10 @@ class ResizeController
     /** Runtime quota change: the QoS arbiter rebalances toward the
      *  new weights over the following epochs. */
     void setTenantWeights(const std::vector<double> &weights);
+
+    /** Attach (or detach with nullptr) the trace-event sink: resize
+     *  targets, cap sheds, QoS decisions and commits are logged. */
+    void attachTelemetry(Telemetry *telem) { telem_ = telem; }
 
     /** Active slices owned by tenant @p t (0 when unpartitioned). */
     std::uint32_t
@@ -151,8 +157,10 @@ class ResizeController
     /** Run the QoS arbiter for this epoch and apply its decision. */
     void qosTick(const ResizeEpochStats &epoch);
 
-    /** Completion callback shared by resizes and reassignments. */
-    std::function<void()> transitionDone(Counter &completions);
+    /** Completion callback shared by resizes and reassignments;
+     *  @p traceEvent names the commit event in the telemetry trace. */
+    std::function<void()> transitionDone(Counter &completions,
+                                         const char *traceEvent);
 
     /** Fraction of the device to gate for @p active of total slices. */
     double
@@ -167,6 +175,7 @@ class ResizeController
     ResizeConfig config_;
     ResizePolicy policy_;
     DramPowerModel *power_ = nullptr;
+    Telemetry *telem_ = nullptr;
     TenantMap *tenants_ = nullptr;
     std::unique_ptr<QosArbiterPolicy> qos_;
     std::vector<std::unique_ptr<ResizeDomain>> domains_;

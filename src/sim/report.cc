@@ -173,7 +173,28 @@ writeResultsJson(const std::string &path, const std::string &bench,
                 static_cast<unsigned long long>(ts.offPkgBytes),
                 ts.inPkgDynPJ, ts.offPkgDynPJ, ts.slicesOwned);
         }
-        std::fprintf(f, "%s]\n", r.tenants.empty() ? "" : "\n      ");
+        // The histograms key appears only when telemetry filled it, so
+        // telemetry-off output stays byte-identical to older builds.
+        std::fprintf(f, "%s]%s\n", r.tenants.empty() ? "" : "\n      ",
+                     r.histograms.empty() ? "" : ",");
+        if (!r.histograms.empty()) {
+            std::fprintf(f, "      \"histograms\": [");
+            for (std::size_t h = 0; h < r.histograms.size(); ++h) {
+                const HistogramSummary &hs = r.histograms[h];
+                std::fprintf(
+                    f,
+                    "%s\n        {\"name\": \"%s\", \"count\": %llu, "
+                    "\"mean\": %.2f, \"p50\": %llu, \"p95\": %llu, "
+                    "\"p99\": %llu, \"max\": %llu}",
+                    h == 0 ? "" : ",", jsonEscape(hs.name).c_str(),
+                    static_cast<unsigned long long>(hs.count), hs.mean,
+                    static_cast<unsigned long long>(hs.p50),
+                    static_cast<unsigned long long>(hs.p95),
+                    static_cast<unsigned long long>(hs.p99),
+                    static_cast<unsigned long long>(hs.max));
+            }
+            std::fprintf(f, "\n      ]\n");
+        }
         std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -26,7 +26,13 @@ runExperiments(const std::vector<Experiment> &exps, unsigned threads,
             const std::size_t i = next.fetch_add(1);
             if (i >= exps.size())
                 return;
-            System system(exps[i].config);
+            // Telemetry traces from a sweep share one file; stamp each
+            // run's lines with its experiment label so the summary
+            // script can split them back apart.
+            SystemConfig config = exps[i].config;
+            if (config.telemetry.enabled && config.telemetry.runLabel.empty())
+                config.telemetry.runLabel = exps[i].label;
+            System system(config);
             results[i] = system.run();
             const std::size_t done = finished.fetch_add(1) + 1;
             if (showProgress) {

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/units.hh"
 #include "core/banshee.hh"
 #include "schemes/alloy.hh"
 #include "schemes/hma.hh"
 #include "schemes/simple.hh"
 #include "schemes/tdc.hh"
 #include "schemes/unison.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/workloads.hh"
 
 namespace banshee {
@@ -234,6 +236,93 @@ System::System(const SystemConfig &config) : config_(config)
             [core](Cycle stall) { core->addStall(stall); },
             [tlb] { tlb->flushAll(); }});
     }
+
+    if (config_.telemetry.enabled)
+        buildTelemetry();
+}
+
+void
+System::buildTelemetry()
+{
+    telemetry_ = std::make_unique<Telemetry>(eq_, config_.telemetry);
+    MetricRegistry &reg = telemetry_->registry();
+
+    // System-wide gauges: cumulative as-of-sample; the summary script
+    // turns adjacent-sample deltas into per-epoch rates.
+    reg.addGauge("instructions", [this] {
+        std::uint64_t n = 0;
+        for (const auto &core : cores_)
+            n += core->instrRetired();
+        return static_cast<double>(n);
+    });
+    reg.addGauge("dramAccesses", [this] {
+        return static_cast<double>(mem_->totalAccesses());
+    });
+    reg.addGauge("dramMisses", [this] {
+        return static_cast<double>(mem_->totalMisses());
+    });
+    if (mem_->inPkg()) {
+        reg.addGauge("inPkgEnergyPJ", [this] {
+            return mem_->inPkg()->power().totalEnergyPJ(eq_.now());
+        });
+    }
+    if (resize_) {
+        reg.addGauge("activeSlices", [this] {
+            return static_cast<double>(resize_->activeSlices());
+        });
+        reg.addStatSet(resize_->stats(), "resize.");
+        resize_->attachTelemetry(telemetry_.get());
+        Histogram &batchLat = telemetry_->histogram("migration.batchLat");
+        for (std::size_t d = 0; d < resize_->numDomains(); ++d)
+            resize_->domain(d).engine().setTelemetry(&batchLat);
+    }
+
+    if (tenants_) {
+        for (std::uint32_t ti = 0; ti < tenants_->numTenants(); ++ti) {
+            const TenantId t = static_cast<TenantId>(ti);
+            const std::string base = "tenant." + tenants_->config(t).name;
+            reg.addGauge(base + ".slices", [this, t] {
+                return resize_
+                           ? static_cast<double>(resize_->slicesOwnedBy(t))
+                           : 0.0;
+            });
+            reg.addGauge(base + ".accesses", [this, t] {
+                std::uint64_t n = 0;
+                for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc)
+                    n += mem_->scheme(mc).tenantAccesses(t);
+                return static_cast<double>(n);
+            });
+            reg.addGauge(base + ".misses", [this, t] {
+                std::uint64_t n = 0;
+                for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc)
+                    n += mem_->scheme(mc).tenantMisses(t);
+                return static_cast<double>(n);
+            });
+            telemetry_->nameTenantQueueLatency(tenantBucket(t),
+                                               base + ".queueLat");
+        }
+    }
+
+    // DRAM channel distributions. Only the in-package device splits
+    // sojourns by tenant: that is the contended resource co-location
+    // studies care about (PR 4's finding).
+    auto attachChannels = [this](DramModel *dev, const char *prefix,
+                                 bool tenantSplit) {
+        if (!dev)
+            return;
+        for (std::uint32_t c = 0; c < dev->numChannels(); ++c) {
+            ChannelTelemetry &ct = telemetry_->channelTelemetry(
+                std::string(prefix) + ".ch" + std::to_string(c));
+            if (tenantSplit && tenants_)
+                ct.tenantQueueLatency = telemetry_->tenantQueueLatency();
+            ct.kickTimer = telemetry_->timer("host.dramKick");
+            dev->channel(c).setTelemetry(&ct);
+        }
+    };
+    attachChannels(mem_->inPkg(), "inpkg", true);
+    attachChannels(mem_->offPkg(), "offpkg", false);
+
+    mem_->setFetchTimer(telemetry_->timer("host.fetchLine"));
 }
 
 System::~System() = default;
@@ -246,7 +335,11 @@ System::runPhase(std::uint64_t instrLimit)
         core->setInstrLimit(instrLimit);
         core->start();
     }
-    eq_.run();
+    {
+        ScopedTimer profile(
+            telemetry_ ? telemetry_->timer("host.eventQueue") : nullptr);
+        eq_.run();
+    }
     sim_assert(parkedCount_ == config_.numCores,
                "event queue drained with %u/%u cores parked — "
                "a memory response was lost",
@@ -271,10 +364,39 @@ System::resetAllStats()
 RunResult
 System::run()
 {
+    if (telemetry_) {
+        telemetry_->event(
+            "run_start",
+            {{"workload", config_.workload},
+             {"scheme", schemeKindName(config_.scheme)},
+             {"cores", config_.numCores},
+             {"coreFreqHz", kCoreFreqHz},
+             {"epochCycles", config_.telemetry.epochCycles},
+             {"warmupInstrPerCore", config_.warmupInstrPerCore},
+             {"measureInstrPerCore", config_.measureInstrPerCore}});
+        if (tenants_) {
+            for (std::uint32_t ti = 0; ti < tenants_->numTenants(); ++ti) {
+                const TenantId t = static_cast<TenantId>(ti);
+                telemetry_->event(
+                    "tenant", {{"id", ti},
+                               {"name", tenants_->config(t).name},
+                               {"workload", tenants_->config(t).workload},
+                               {"weight", tenants_->weight(t)},
+                               {"cores", tenants_->coreCount(t)}});
+            }
+        }
+    }
+
     // Warmup: caches, predictors and counters learn; stats discarded.
     if (config_.warmupInstrPerCore > 0)
         runPhase(config_.warmupInstrPerCore);
     resetAllStats();
+    if (telemetry_) {
+        // Warmup-phase distributions would pollute the measured ones.
+        telemetry_->resetHistograms();
+        telemetry_->event("measure_start");
+        telemetry_->startEpochs();
+    }
     // The resize epoch clock runs over the measured phase only, so
     // scripted schedules are phase-relative and deterministic.
     if (resize_)
@@ -298,6 +420,9 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
                 const std::vector<std::uint64_t> &phaseStartInstr,
                 Cycle phaseStartGlobal)
 {
+    if (telemetry_)
+        telemetry_->finishEpochs();
+
     RunResult r;
     r.workload = config_.workload;
     r.scheme = schemeKindName(config_.scheme);
@@ -435,6 +560,17 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
             if (resize_)
                 ts.slicesOwned = resize_->slicesOwnedBy(t);
         }
+    }
+
+    if (telemetry_) {
+        r.histograms = telemetry_->summaries();
+        telemetry_->event("run_end",
+                          {{"instructions", r.instructions},
+                           {"cycles", r.cycles},
+                           {"ipc", r.ipc},
+                           {"missRate", r.missRate},
+                           {"finalActiveSlices", r.finalActiveSlices}});
+        telemetry_->emitProfile();
     }
     return r;
 }

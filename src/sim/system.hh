@@ -30,10 +30,13 @@
 #include "resize/resize_controller.hh"
 #include "schemes/batman.hh"
 #include "sim/system_config.hh"
+#include "telemetry/histogram.hh"
 #include "tenant/tenant_map.hh"
 #include "workload/pattern.hh"
 
 namespace banshee {
+
+class Telemetry; // telemetry/telemetry.hh
 
 /** One tenant's share of a multi-tenant run's measured statistics. */
 struct TenantRunStats
@@ -116,6 +119,10 @@ struct RunResult
     /** Per-tenant splits (empty for single-tenant runs). */
     std::vector<TenantRunStats> tenants;
 
+    /** Latency/occupancy distribution summaries over the measured
+     *  phase (empty unless telemetry was enabled). */
+    std::vector<HistogramSummary> histograms;
+
     double inPkgBpi(TrafficCat c) const;
     double offPkgBpi(TrafficCat c) const;
     double inPkgTotalBpi() const;
@@ -159,10 +166,16 @@ class System
     /** Tenant ownership, or nullptr for single-tenant runs. */
     TenantMap *tenantMap() { return tenants_.get(); }
 
+    /** Telemetry façade, or nullptr when telemetry is disabled. */
+    Telemetry *telemetry() { return telemetry_.get(); }
+
     /** Zero every statistic (called at the warmup boundary). */
     void resetAllStats();
 
   private:
+    /** Build the telemetry façade and attach every hook. */
+    void buildTelemetry();
+
     /** Run all cores until each reaches @p instrLimit. */
     void runPhase(std::uint64_t instrLimit);
 
@@ -178,6 +191,7 @@ class System
     std::unique_ptr<MemSystem> mem_;
     std::unique_ptr<BatmanController> batman_;
     std::unique_ptr<ResizeController> resize_;
+    std::unique_ptr<Telemetry> telemetry_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Tlb>> tlbs_;
     std::vector<std::unique_ptr<AccessPattern>> patterns_;

@@ -131,4 +131,14 @@ SystemConfig::withQosArbiter(double capWatts)
     return *this;
 }
 
+SystemConfig &
+SystemConfig::withTelemetry(std::string path, Cycle epochCycles)
+{
+    telemetry.enabled = true;
+    telemetry.path = std::move(path);
+    if (epochCycles > 0)
+        telemetry.epochCycles = epochCycles;
+    return *this;
+}
+
 } // namespace banshee

@@ -31,6 +31,7 @@
 #include "schemes/batman.hh"
 #include "schemes/hma.hh"
 #include "schemes/unison.hh"
+#include "telemetry/telemetry_config.hh"
 #include "tenant/tenant.hh"
 
 namespace banshee {
@@ -70,6 +71,9 @@ struct SystemConfig
 
     /** Dynamic DRAM-cache resizing (Banshee scheme only). */
     ResizeConfig resize;
+
+    /** Epoch-resolved telemetry (off by default: zero hot-path work). */
+    TelemetryConfig telemetry;
 
     /**
      * Multi-tenant mode: when non-empty, cores are split between the
@@ -148,6 +152,14 @@ struct SystemConfig
      * @p capWatts sheds slices from the tenant furthest over quota.
      */
     SystemConfig &withQosArbiter(double capWatts = 0.0);
+
+    /**
+     * Enable epoch-resolved telemetry: metric time series, latency
+     * histograms and a structured JSONL event trace appended to
+     * @p path. @p epochCycles 0 keeps the default sampling cadence
+     * (the ResizeController's 20 us epoch).
+     */
+    SystemConfig &withTelemetry(std::string path, Cycle epochCycles = 0);
 };
 
 } // namespace banshee

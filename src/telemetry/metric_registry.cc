@@ -1,0 +1,50 @@
+#include "telemetry/metric_registry.hh"
+
+namespace banshee {
+
+void
+MetricRegistry::start(EventQueue &eq, Cycle epochCycles,
+                      std::function<void(const Sample &)> onSample)
+{
+    sim_assert(epochCycles > 0, "telemetry epoch must be > 0 cycles");
+    onSample_ = std::move(onSample);
+    running_ = true;
+    eq.scheduleAfter(epochCycles,
+                     [this, &eq, epochCycles] { tick(eq, epochCycles); });
+}
+
+void
+MetricRegistry::tick(EventQueue &eq, Cycle epochCycles)
+{
+    if (!running_)
+        return;
+    sample(eq.now());
+    eq.scheduleAfter(epochCycles,
+                     [this, &eq, epochCycles] { tick(eq, epochCycles); });
+}
+
+const MetricRegistry::Sample &
+MetricRegistry::sample(Cycle now)
+{
+    Sample s;
+    s.cycle = now;
+    s.epoch = nextEpoch_++;
+    s.values.reserve(gauges_.size());
+    for (const GaugeFn &g : gauges_)
+        s.values.push_back(g());
+    s.hists.reserve(hists_.size());
+    for (const Histogram *h : hists_) {
+        HistSnapshot snap;
+        snap.count = h->count();
+        snap.sum = h->sum();
+        snap.max = h->max();
+        snap.buckets = h->bucketCounts();
+        s.hists.push_back(std::move(snap));
+    }
+    series_.push_back(std::move(s));
+    if (onSample_)
+        onSample_(series_.back());
+    return series_.back();
+}
+
+} // namespace banshee

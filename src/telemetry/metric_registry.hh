@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Epoch-sampled metric time series, layered on the StatSet registry.
+ *
+ * Components already expose their statistics as StatSet counters and
+ * accessor methods; a single end-of-run dump cannot show the
+ * time-domain phenomena this repository now studies (resize drains,
+ * power-cap hysteresis, per-tenant queueing under co-location). The
+ * MetricRegistry closes that gap: gauges (arbitrary double-valued
+ * callbacks), existing Counters / whole StatSets, and Histograms are
+ * registered once at system build, then snapshotted on an epoch clock
+ * into an in-memory time series. Values are cumulative-as-of-sample;
+ * per-epoch rates are deltas between adjacent samples (computed by
+ * consumers, e.g. scripts/telemetry_summary.py).
+ *
+ * The registry is dormant until start(): nothing is scheduled on the
+ * event queue and no callback runs, so a disabled-telemetry system
+ * does no sampling work at all.
+ */
+
+#ifndef BANSHEE_TELEMETRY_METRIC_REGISTRY_HH
+#define BANSHEE_TELEMETRY_METRIC_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "telemetry/histogram.hh"
+#include "telemetry/scoped_timer.hh"
+
+namespace banshee {
+
+class MetricRegistry
+{
+  public:
+    using GaugeFn = std::function<double()>;
+
+    /** Cumulative bucket state of one histogram at one sample. */
+    struct HistSnapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+        std::vector<std::uint64_t> buckets;
+    };
+
+    /** One epoch snapshot; values/hists parallel the name vectors. */
+    struct Sample
+    {
+        Cycle cycle = 0;
+        std::uint64_t epoch = 0;
+        std::vector<double> values;
+        std::vector<HistSnapshot> hists;
+    };
+
+    /** Register a gauge: evaluated at every sample. */
+    void
+    addGauge(std::string name, GaugeFn fn)
+    {
+        metricNames_.push_back(std::move(name));
+        gauges_.push_back(std::move(fn));
+    }
+
+    /** Register one existing Counter (reference outlives registry). */
+    void
+    addCounter(std::string name, const Counter &c)
+    {
+        addGauge(std::move(name), [&c] {
+            return static_cast<double>(c.value());
+        });
+    }
+
+    /** Register every counter of @p set under @p prefix. Counters
+     *  created in the set after this call are not picked up. */
+    void
+    addStatSet(const StatSet &set, const std::string &prefix)
+    {
+        for (const auto &kv : set.all())
+            addCounter(prefix + kv.first, *kv.second);
+    }
+
+    /** Register a histogram (reference outlives registry). */
+    void
+    addHistogram(std::string name, const Histogram &h)
+    {
+        histNames_.push_back(std::move(name));
+        hists_.push_back(&h);
+    }
+
+    /** Named wall-clock phase timer (created on first use). */
+    PhaseTimer &timer(const std::string &name) { return timers_[name]; }
+
+    const std::map<std::string, PhaseTimer> &timers() const
+    {
+        return timers_;
+    }
+
+    /**
+     * Start the epoch clock: one sample every @p epochCycles on
+     * @p eq, until stop(). @p onSample (optional) observes each
+     * sample as it is taken (the trace sink hook).
+     */
+    void start(EventQueue &eq, Cycle epochCycles,
+               std::function<void(const Sample &)> onSample = nullptr);
+
+    /** Stop sampling (pending clock events disarm themselves). */
+    void stop() { running_ = false; }
+
+    /** Take one sample now (the epoch clock calls this). */
+    const Sample &sample(Cycle now);
+
+    const std::vector<std::string> &metricNames() const
+    {
+        return metricNames_;
+    }
+    const std::vector<std::string> &histNames() const { return histNames_; }
+    const std::vector<Sample> &series() const { return series_; }
+
+    std::size_t numHistograms() const { return hists_.size(); }
+    const Histogram &histogramAt(std::size_t i) const { return *hists_[i]; }
+    const std::string &histNameAt(std::size_t i) const
+    {
+        return histNames_[i];
+    }
+
+  private:
+    void tick(EventQueue &eq, Cycle epochCycles);
+
+    std::vector<std::string> metricNames_;
+    std::vector<GaugeFn> gauges_;
+    std::vector<std::string> histNames_;
+    std::vector<const Histogram *> hists_;
+    std::map<std::string, PhaseTimer> timers_;
+
+    std::vector<Sample> series_;
+    std::uint64_t nextEpoch_ = 0;
+    bool running_ = false;
+    std::function<void(const Sample &)> onSample_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_TELEMETRY_METRIC_REGISTRY_HH

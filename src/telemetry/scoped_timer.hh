@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Wall-clock phase timers.
+ *
+ * A PhaseTimer accumulates host nanoseconds and call counts for one
+ * named phase of the simulator (event-queue loop, DRAM scheduler,
+ * scheme access path). ScopedTimer is the RAII recorder; it takes a
+ * pointer that is null while telemetry is disabled, so instrumented
+ * hot paths pay only a branch when profiling is off. The resulting
+ * profile lands in the telemetry trace next to the simulated-time
+ * metrics (see ROADMAP: parallel simulation engine, "profile first").
+ */
+
+#ifndef BANSHEE_TELEMETRY_SCOPED_TIMER_HH
+#define BANSHEE_TELEMETRY_SCOPED_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace banshee {
+
+struct PhaseTimer
+{
+    std::uint64_t ns = 0;
+    std::uint64_t calls = 0;
+
+    void
+    add(std::uint64_t deltaNs)
+    {
+        ns += deltaNs;
+        ++calls;
+    }
+
+    void
+    reset()
+    {
+        ns = 0;
+        calls = 0;
+    }
+};
+
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(PhaseTimer *timer) : timer_(timer)
+    {
+        if (timer_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (timer_) {
+            const auto delta =
+                std::chrono::steady_clock::now() - start_;
+            timer_->add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    delta)
+                    .count()));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    PhaseTimer *timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_TELEMETRY_SCOPED_TIMER_HH

@@ -1,0 +1,137 @@
+#include "telemetry/trace_sink.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace banshee {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+quoted(const char *key)
+{
+    return "\"" + jsonEscape(key) + "\": ";
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+TraceField::TraceField(const char *key, std::uint64_t v)
+    : json_(quoted(key) + std::to_string(v))
+{
+}
+
+TraceField::TraceField(const char *key, std::uint32_t v)
+    : json_(quoted(key) + std::to_string(v))
+{
+}
+
+TraceField::TraceField(const char *key, int v)
+    : json_(quoted(key) + std::to_string(v))
+{
+}
+
+TraceField::TraceField(const char *key, double v)
+    : json_(quoted(key) + fmtDouble(v))
+{
+}
+
+TraceField::TraceField(const char *key, const char *v)
+    : json_(quoted(key) + "\"" + jsonEscape(v) + "\"")
+{
+}
+
+TraceField::TraceField(const char *key, const std::string &v)
+    : json_(quoted(key) + "\"" + jsonEscape(v) + "\"")
+{
+}
+
+std::shared_ptr<TraceSink>
+TraceSink::shared(const std::string &path)
+{
+    // Sinks live for the rest of the process so a path reopened by a
+    // later experiment batch appends instead of truncating the
+    // earlier batch's events.
+    static std::mutex mapMutex;
+    static std::map<std::string, std::shared_ptr<TraceSink>> sinks;
+    std::lock_guard<std::mutex> lock(mapMutex);
+    auto it = sinks.find(path);
+    if (it == sinks.end())
+        it = sinks.emplace(path, std::make_shared<TraceSink>(path)).first;
+    return it->second;
+}
+
+TraceSink::TraceSink(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    if (file_ == nullptr)
+        fatal("telemetry: cannot open '%s' for writing", path.c_str());
+}
+
+TraceSink::~TraceSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceSink::event(const std::string &run, Cycle cycle, const char *type,
+                 std::initializer_list<TraceField> fields)
+{
+    std::string line = "{\"run\": \"" + jsonEscape(run) +
+                       "\", \"cycle\": " + std::to_string(cycle) +
+                       ", \"event\": \"" + jsonEscape(type) + "\"";
+    for (const TraceField &f : fields) {
+        line += ", ";
+        line += f.json();
+    }
+    line += "}";
+    writeLine(line);
+}
+
+void
+TraceSink::writeLine(const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fprintf(file_, "%s\n", json.c_str()) < 0) {
+        warn_once("telemetry: write to '%s' failed; further failures "
+                  "are silent",
+                  path_.c_str());
+        return;
+    }
+    // Flush per line: concurrent runs interleave whole lines and a
+    // crashed run still leaves a parseable trace.
+    std::fflush(file_);
+}
+
+} // namespace banshee

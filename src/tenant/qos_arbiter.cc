@@ -6,6 +6,24 @@
 
 namespace banshee {
 
+const char *
+qosReasonName(QosReason r)
+{
+    switch (r) {
+    case QosReason::None:
+        return "none";
+    case QosReason::CapShed:
+        return "cap_shed";
+    case QosReason::CapGrow:
+        return "cap_grow";
+    case QosReason::Rebalance:
+        return "rebalance";
+    case QosReason::Lend:
+        return "lend";
+    }
+    return "?";
+}
+
 QosArbiterPolicy::QosArbiterPolicy(const ResizePolicyConfig &config,
                                    std::vector<double> weights)
     : config_(config), weights_(std::move(weights)), powerCap_(config)
@@ -49,6 +67,8 @@ QosArbiterPolicy::decide(const std::vector<TenantEpochStats> &tenantStats,
             powerCap_.decide(total, activeSlices, totalSlices)) {
         QosDecision d;
         d.targetActive = *capTarget;
+        d.reason = *capTarget < activeSlices ? QosReason::CapShed
+                                             : QosReason::CapGrow;
         if (*capTarget < activeSlices) {
             // Shed from the tenant furthest over its quota at the
             // post-shed size (so repeated sheds distribute fairly).
@@ -126,6 +146,7 @@ QosArbiterPolicy::decide(const std::vector<TenantEpochStats> &tenantStats,
             QosDecision d;
             d.donor = static_cast<TenantId>(surplusT);
             d.receiver = static_cast<TenantId>(deficitT);
+            d.reason = QosReason::Rebalance;
             return d;
         }
     }
@@ -168,6 +189,7 @@ QosArbiterPolicy::decide(const std::vector<TenantEpochStats> &tenantStats,
             QosDecision d;
             d.donor = static_cast<TenantId>(coldest);
             d.receiver = static_cast<TenantId>(starved);
+            d.reason = QosReason::Lend;
             return d;
         }
     }

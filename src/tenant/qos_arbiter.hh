@@ -56,6 +56,18 @@ struct TenantEpochStats
     }
 };
 
+/** Why the arbiter decided what it decided (trace/telemetry). */
+enum class QosReason : std::uint8_t
+{
+    None,      ///< no action this epoch
+    CapShed,   ///< power cap over budget: shed a slice
+    CapGrow,   ///< power headroom: regrow a shed slice
+    Rebalance, ///< ownership drifted from the quota weights
+    Lend,      ///< pressure loan from a cold tenant to a thrasher
+};
+
+const char *qosReasonName(QosReason r);
+
 /** What the arbiter wants done this epoch (all fields optional). */
 struct QosDecision
 {
@@ -65,6 +77,8 @@ struct QosDecision
     TenantId donor = kNoTenant;
     /** Tenant gaining a slice (grows and reassignments). */
     TenantId receiver = kNoTenant;
+    /** Which rule produced this decision. */
+    QosReason reason = QosReason::None;
 
     /** A same-size ownership transfer donor -> receiver. */
     bool

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "common/alias_table.hh"
@@ -206,6 +207,43 @@ TEST(Stats, CounterReferenceStable)
         s.counter("c" + std::to_string(i));
     ++a;
     EXPECT_EQ(s.value("a"), 1u);
+}
+
+TEST(Stats, ResetAtWarmupBoundaryClearsEveryCounter)
+{
+    // The warmup boundary resets whole StatSets; references handed
+    // out before the reset must stay live and start from zero.
+    StatSet s("warm");
+    Counter &hits = s.counter("hits");
+    Counter &misses = s.counter("misses");
+    hits += 10;
+    misses += 3;
+    s.reset();
+    EXPECT_EQ(s.value("hits"), 0u);
+    EXPECT_EQ(s.value("misses"), 0u);
+    ++hits;
+    EXPECT_EQ(s.value("hits"), 1u);
+    EXPECT_EQ(s.value("misses"), 0u);
+}
+
+TEST(Stats, DumpOrderIsLexicographicAndStable)
+{
+    StatSet s("set");
+    s.counter("zeta") += 1;
+    s.counter("alpha") += 2;
+    s.counter("mid") += 3;
+    std::ostringstream first;
+    s.dump(first);
+    EXPECT_EQ(first.str(), "set.alpha = 2\nset.mid = 3\nset.zeta = 1\n");
+
+    // Creating another counter must not reorder the existing ones —
+    // telemetry registers StatSet counters by iteration order, so a
+    // stable order keeps metric names consistent across runs.
+    s.counter("beta");
+    std::ostringstream second;
+    s.dump(second);
+    EXPECT_EQ(second.str(),
+              "set.alpha = 2\nset.beta = 0\nset.mid = 3\nset.zeta = 1\n");
 }
 
 TEST(Stats, EwmaConvergesToRatio)
