@@ -8,6 +8,7 @@
 #ifndef BANSHEE_BENCH_BENCH_UTIL_HH
 #define BANSHEE_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -31,6 +32,10 @@ struct BenchOptions
     unsigned threads = 0;
     /** Empty = no JSON output. */
     std::string jsonPath;
+    /** Stamp host wall-clock / events-per-sec into --json output.
+     *  Opt-in: host timings are nondeterministic, and default JSON
+     *  output is guarded byte-identical across engine refactors. */
+    bool hostPerf = false;
 };
 
 /**
@@ -40,6 +45,7 @@ struct BenchOptions
  *   --workloads a,b  restrict the workload list
  *   --threads N      worker threads
  *   --json path      also emit machine-readable results (BENCH_*.json)
+ *   --host-perf      stamp wall-clock + events/sec into --json output
  *   --telemetry path epoch-resolved JSONL trace (telemetry_summary.py)
  *   --verbose / -v   raise log verbosity (also: BANSHEE_LOG env var)
  */
@@ -52,7 +58,7 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s [--quick] [--full] "
                      "[--workloads a,b,c] [--threads N] [--json path] "
-                     "[--telemetry path] [--verbose|-v]\n",
+                     "[--host-perf] [--telemetry path] [--verbose|-v]\n",
                      argv[0]);
         std::exit(1);
     };
@@ -81,9 +87,22 @@ parseArgs(int argc, char **argv)
             if (opt.workloads.empty())
                 usage("--workloads needs at least one workload name");
         } else if (arg == "--threads" && i + 1 < argc) {
-            opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+            // Strict parse: atoi would map garbage ("abc") to 0,
+            // which silently means "use every core".
+            const char *s = argv[++i];
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(s, &end, 10);
+            if (*s == '\0' || end == nullptr || *end != '\0' ||
+                v > 4096) {
+                usage(std::string("--threads needs a number in "
+                                  "[0, 4096], got '") +
+                      s + "'");
+            }
+            opt.threads = static_cast<unsigned>(v);
         } else if (arg == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (arg == "--host-perf") {
+            opt.hostPerf = true;
         } else if (arg == "--telemetry" && i + 1 < argc) {
             opt.base.withTelemetry(argv[++i]);
         } else if (arg == "--verbose" || arg == "-v") {
@@ -95,11 +114,14 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-/** Emit BENCH_*.json when --json was given (shared by every bench). */
+/** Emit BENCH_*.json when --json was given (shared by every bench).
+ *  Pass the sweep's SweepPerf to honor --host-perf; host timings are
+ *  stamped only when that flag was given. */
 inline void
 maybeWriteJson(const BenchOptions &opt, const std::string &bench,
                const std::vector<Experiment> &exps,
-               const std::vector<RunResult> &results)
+               const std::vector<RunResult> &results,
+               const SweepPerf *perf = nullptr)
 {
     if (opt.jsonPath.empty())
         return;
@@ -107,7 +129,8 @@ maybeWriteJson(const BenchOptions &opt, const std::string &bench,
     labels.reserve(exps.size());
     for (const auto &e : exps)
         labels.push_back(e.label);
-    writeResultsJson(opt.jsonPath, bench, labels, results);
+    writeResultsJson(opt.jsonPath, bench, labels, results,
+                     opt.hostPerf ? perf : nullptr);
     std::printf("\n[json] wrote %zu results to %s\n", results.size(),
                 opt.jsonPath.c_str());
 }

@@ -50,7 +50,8 @@ main(int argc, char **argv)
             }
         }
     }
-    auto results = runExperiments(exps, opt.threads);
+    SweepPerf perf;
+    auto results = runExperiments(exps, opt.threads, true, &perf);
     const ResultIndex index(exps, results);
 
     // ------------------------------------------------ Part 1: energy
@@ -143,6 +144,6 @@ main(int argc, char **argv)
         exps.push_back(std::move(capExps[i]));
         results.push_back(capResults[i]);
     }
-    maybeWriteJson(opt, "ext_energy", exps, results);
+    maybeWriteJson(opt, "ext_energy", exps, results, &perf);
     return 0;
 }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Extension: consolidation-scale sweep throughput (the engine-core
+ * refactor's payoff bench).
+ *
+ * The paper's evaluation — and the mode-comparison sweeps framed by
+ * "Die-Stacked DRAM: Memory, Cache, or MemCache?" — multiply scheme
+ * × capacity × tenant grids until the simulator itself is the
+ * bottleneck. This bench drives a 64-core / 16-tenant consolidation
+ * node over a scheme × cache-capacity grid (plus quota-partitioned
+ * Banshee points) through the sharded sweep runner and reports the
+ * *host* cost of every experiment: wall-clock seconds, simulation
+ * events committed, and events/sec, plus the sweep-level aggregate.
+ *
+ * Throughput claim: with N worker threads the sweep's aggregate
+ * events/sec must scale toward N× the serial figure (each experiment
+ * is an isolated System; see the contract note in sim/runner.hh).
+ * Run with --compare-serial to measure the ratio on this machine:
+ * the same grid is re-run at --threads 1 and the speedup printed.
+ * On a many-core runner the parallel sweep is expected to clear 5×.
+ *
+ * All simulated results stay deterministic: the grid's per-
+ * experiment RunResults are independent of thread count and shard
+ * size; only the hostPerf numbers vary run to run.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/report.hh"
+
+using namespace banshee;
+using namespace banshee::benchutil;
+
+namespace {
+
+/** 16 tenants x 4 cores: a consolidation mix cycling the paper's
+ *  workloads, with a spread of quota weights. */
+std::vector<TenantConfig>
+gridTenants()
+{
+    // Graph workloads share one heap across cores and cannot be
+    // partitioned into tenants; the pool is SPEC-style + mixes.
+    std::vector<std::string> pool;
+    for (const std::string &n : WorkloadFactory::paperNames()) {
+        if (!WorkloadFactory::isGraph(n))
+            pool.push_back(n);
+    }
+    std::vector<TenantConfig> tenants;
+    tenants.reserve(16);
+    for (std::uint32_t t = 0; t < 16; ++t) {
+        TenantConfig tc;
+        tc.name = "t" + std::to_string(t);
+        tc.workload = pool[t % pool.size()];
+        tc.weight = 1.0 + static_cast<double>(t % 4); // 1..4
+        tc.numCores = 4;
+        tenants.push_back(tc);
+    }
+    return tenants;
+}
+
+std::vector<Experiment>
+buildGrid(const SystemConfig &base)
+{
+    std::vector<Experiment> exps;
+
+    struct SchemePoint
+    {
+        const char *label;
+        SchemeKind kind;
+    };
+    const SchemePoint schemes[] = {{"Banshee", SchemeKind::Banshee},
+                                   {"Alloy", SchemeKind::Alloy},
+                                   {"Unison", SchemeKind::Unison},
+                                   {"TDC", SchemeKind::Tdc}};
+    const std::uint64_t capacities[] = {64ull << 20, 128ull << 20};
+
+    for (const SchemePoint &s : schemes) {
+        for (const std::uint64_t cap : capacities) {
+            SystemConfig c = base;
+            c.withScheme(s.kind);
+            if (s.kind == SchemeKind::Alloy)
+                c.withAlloyFillProb(1.0);
+            c.mem.inPkgCapacity = cap;
+            c.withTenants(gridTenants(), /*partition=*/false);
+            exps.push_back(
+                {std::string(s.label) + "/" +
+                     std::to_string(cap >> 20) + "M/shared",
+                 c});
+        }
+    }
+    // Quota-partitioned points (the ring implies the Banshee scheme).
+    for (const std::uint64_t cap : capacities) {
+        SystemConfig c = base;
+        c.withScheme(SchemeKind::Banshee);
+        c.mem.inPkgCapacity = cap;
+        // Enough ring slices that 16 weighted tenants each hold one.
+        c.resize.hash.numSlices = 32;
+        c.withTenants(gridTenants(), /*partition=*/true);
+        exps.push_back(
+            {"Banshee/" + std::to_string(cap >> 20) + "M/quota", c});
+    }
+    return exps;
+}
+
+void
+printPerfTable(const std::vector<Experiment> &exps,
+               const SweepPerf &perf, unsigned threads)
+{
+    TablePrinter table({"experiment", "wall s", "Mevents", "Mev/s"}, 16);
+    table.printHeader();
+    table.printRule();
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        const RunPerf &p = perf.experiments[i];
+        table.printRow({exps[i].label, fmt(p.wallSeconds, 2),
+                        fmt(static_cast<double>(p.events) / 1e6, 1),
+                        fmt(p.eventsPerSec() / 1e6, 2)});
+    }
+    table.printRule();
+    std::printf("sweep: %zu experiments, %u threads, %.2f s wall, "
+                "%.1f Mevents, %.2f Mevents/s aggregate\n",
+                exps.size(), threads, perf.wallSeconds,
+                static_cast<double>(perf.totalEvents()) / 1e6,
+                perf.eventsPerSec() / 1e6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off our own flag before the shared parser (it rejects
+    // unknown arguments).
+    bool compareSerial = false;
+    bool quick = false;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--compare-serial") == 0) {
+            compareSerial = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true; // also forwarded to the shared parser
+        args.push_back(argv[i]);
+    }
+    BenchOptions opt =
+        parseArgs(static_cast<int>(args.size()), args.data());
+    printBanner("Extension: sweep throughput at consolidation scale "
+                "(64 cores, 16 tenants)",
+                "Banshee (MICRO'17) evaluation grids; sharded sweep "
+                "runner");
+
+    opt.base.numCores = 64;
+    // Keep one experiment's work at sweep-friendly size: the grid is
+    // 10 systems of 64 cores each, so per-core budgets a fraction of
+    // the default already total ~10x an ext_tenant run. --quick is a
+    // smoke budget sized so a sanitizer build finishes in CI minutes.
+    opt.base.warmupInstrPerCore = quick ? 20'000 : 150'000;
+    opt.base.measureInstrPerCore = quick ? 40'000 : 300'000;
+    opt.base.autoWarmup = false;
+    opt.base.footprintScale = 1.0 / 4.0;
+
+    const std::vector<Experiment> exps = buildGrid(opt.base);
+
+    SweepPerf perf;
+    std::vector<RunResult> results =
+        runExperiments(exps, opt.threads, true, &perf);
+
+    std::printf("\nHost cost per experiment (%s):\n",
+                opt.threads == 1 ? "serial" : "sharded across threads");
+    printPerfTable(exps, perf, opt.threads);
+
+    // Simulated sanity column so the bench is not a pure stopwatch:
+    // aggregate IPC per scheme point.
+    std::printf("\nSimulated aggregate IPC (determinism check — "
+                "independent of --threads):\n");
+    TablePrinter ipcTable({"experiment", "IPC", "missRate"}, 16);
+    ipcTable.printHeader();
+    ipcTable.printRule();
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        ipcTable.printRow({exps[i].label, fmt(results[i].ipc, 3),
+                           fmt(results[i].missRate, 4)});
+    }
+
+    if (compareSerial) {
+        std::printf("\nRe-running the grid serially (--threads 1) for "
+                    "the speedup ratio...\n");
+        SweepPerf serial;
+        std::vector<RunResult> serialResults =
+            runExperiments(exps, 1, true, &serial);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            sim_assert(serialResults[i].ipc == results[i].ipc &&
+                           serialResults[i].cycles == results[i].cycles,
+                       "experiment '%s' diverged across thread counts",
+                       exps[i].label.c_str());
+        }
+        const double speedup =
+            serial.wallSeconds > 0.0 && perf.wallSeconds > 0.0
+                ? serial.wallSeconds / perf.wallSeconds
+                : 0.0;
+        std::printf("\nserial: %.2f s wall (%.2f Mevents/s); "
+                    "sharded: %.2f s wall (%.2f Mevents/s); "
+                    "speedup %.2fx\n",
+                    serial.wallSeconds, serial.eventsPerSec() / 1e6,
+                    perf.wallSeconds, perf.eventsPerSec() / 1e6,
+                    speedup);
+    }
+
+    maybeWriteJson(opt, "ext_scale", exps, results, &perf);
+    return 0;
+}

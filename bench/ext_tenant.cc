@@ -105,7 +105,9 @@ main(int argc, char **argv)
                            /*partition=*/false);
         exps.push_back({"resident/shared", shared});
     }
-    std::vector<RunResult> results = runExperiments(exps, opt.threads);
+    SweepPerf perf;
+    std::vector<RunResult> results =
+        runExperiments(exps, opt.threads, true, &perf);
     const RunResult &solo = results[0];
     const RunResult &quota = results[1];
     const RunResult &shared = results[2];
@@ -214,6 +216,6 @@ main(int argc, char **argv)
         exps.push_back(std::move(qosExps[i]));
         results.push_back(qosResults[i]);
     }
-    maybeWriteJson(opt, "ext_tenant", exps, results);
+    maybeWriteJson(opt, "ext_tenant", exps, results, &perf);
     return 0;
 }

@@ -141,4 +141,69 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+static void
+BM_EventQueueOneShotSteadyState(benchmark::State &state)
+{
+    // Steady-state completion traffic: each firing schedules the
+    // next, so the pooled one-shot node is recycled every iteration
+    // (the pattern DRAM done-callbacks produce).
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> chain = [&] {
+        fired++;
+        eq.schedule(eq.now() + 3, chain);
+    };
+    eq.schedule(1, chain);
+    for (auto _ : state) {
+        eq.run(eq.now() + 3000);
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueOneShotSteadyState);
+
+static void
+BM_TickEventKickRearm(benchmark::State &state)
+{
+    // The DRAM-kick pattern: one intrusive event per channel,
+    // repeatedly superseded to earlier cycles and re-armed from its
+    // own callback. Measures arm/supersede/fire cost with no
+    // allocation per arm.
+    EventQueue eq;
+    std::uint64_t kicks = 0;
+    TickEvent kick;
+    kick.setCallback([&] {
+        kicks++;
+        eq.schedule(kick, eq.now() + 8);
+    });
+    eq.schedule(kick, 4);
+    for (auto _ : state) {
+        // Supersede the pending arm to an earlier cycle, as a request
+        // arrival would, then run up to it.
+        const Cycle earlier =
+            kick.when() > eq.now() + 2 ? kick.when() - 2 : kick.when();
+        eq.schedule(kick, earlier);
+        eq.run(earlier);
+        benchmark::DoNotOptimize(kicks);
+    }
+}
+BENCHMARK(BM_TickEventKickRearm);
+
+static void
+BM_EventQueueFarHeap(benchmark::State &state)
+{
+    // Epoch-scale scheduling: events far beyond the timing wheel
+    // exercise the far heap and its migration into the window.
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 64; ++i) {
+            eq.schedule(static_cast<Cycle>(100'000 + i * 50'000),
+                        [&sum, i] { sum += static_cast<unsigned>(i); });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_EventQueueFarHeap);
+
 BENCHMARK_MAIN();

@@ -67,7 +67,7 @@ Cache::contains(LineAddr line) const
 }
 
 Cache::Victim
-Cache::insert(LineAddr line, bool dirty, std::uint16_t meta)
+Cache::insert(LineAddr line, bool dirty, std::uint64_t meta)
 {
     sim_assert(!findLine(line), "double insert of line %llx",
                static_cast<unsigned long long>(line));
@@ -141,7 +141,7 @@ Cache::setDirty(LineAddr line)
     l->dirty = true;
 }
 
-std::uint16_t
+std::uint64_t
 Cache::meta(LineAddr line) const
 {
     const Line *l = findLine(line);
@@ -150,7 +150,7 @@ Cache::meta(LineAddr line) const
 }
 
 void
-Cache::setMeta(LineAddr line, std::uint16_t meta)
+Cache::setMeta(LineAddr line, std::uint64_t meta)
 {
     Line *l = findLine(line);
     sim_assert(l, "setMeta on absent line");

@@ -33,7 +33,7 @@ struct CacheParams
 
 /**
  * A set-associative cache of line addresses. Lines carry a dirty bit
- * and a 16-bit user metadata word (the shared L3 stores a sharer
+ * and a 64-bit user metadata word (the shared L3 stores a sharer
  * bitmask there).
  */
 class Cache
@@ -44,7 +44,7 @@ class Cache
         bool valid = false;
         bool dirty = false;
         LineAddr line = 0;
-        std::uint16_t meta = 0;
+        std::uint64_t meta = 0;
     };
 
     explicit Cache(const CacheParams &params);
@@ -63,7 +63,7 @@ class Cache
      * Insert @p line (must not be present). Returns the evicted
      * victim, if any.
      */
-    Victim insert(LineAddr line, bool dirty, std::uint16_t meta = 0);
+    Victim insert(LineAddr line, bool dirty, std::uint64_t meta = 0);
 
     /**
      * Remove @p line if present.
@@ -75,10 +75,10 @@ class Cache
     void setDirty(LineAddr line);
 
     /** Read a resident line's metadata word (asserts presence). */
-    std::uint16_t meta(LineAddr line) const;
+    std::uint64_t meta(LineAddr line) const;
 
     /** Update a resident line's metadata word (asserts presence). */
-    void setMeta(LineAddr line, std::uint16_t meta);
+    void setMeta(LineAddr line, std::uint64_t meta);
 
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t ways() const { return ways_; }
@@ -94,7 +94,7 @@ class Cache
     {
         LineAddr tag = 0;
         std::uint64_t stamp = 0; ///< LRU/FIFO ordering stamp
-        std::uint16_t meta = 0;
+        std::uint64_t meta = 0;
         bool valid = false;
         bool dirty = false;
     };

@@ -12,8 +12,8 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
       statMshrMerges_(stats_.counter("mshrMerges")),
       statLlcWritebacks_(stats_.counter("llcWritebacks"))
 {
-    sim_assert(params.numCores <= 16,
-               "sharer mask is 16 bits; %u cores requested",
+    sim_assert(params.numCores <= 64,
+               "sharer mask is 64 bits; %u cores requested",
                params.numCores);
     for (std::uint32_t c = 0; c < params.numCores; ++c) {
         CacheParams p;
@@ -77,7 +77,7 @@ CacheHierarchy::accessInternal(CoreId core, Addr addr, bool isWrite,
 
     if (l3_->lookup(line, false)) {
         l3_->setMeta(line, l3_->meta(line) |
-                               static_cast<std::uint16_t>(1u << core));
+                               1ull << core);
         fillPrivate(core, line, isWrite, isFetch);
         res.level = Level::L3;
         res.latency = params_.l3Latency;
@@ -166,9 +166,9 @@ CacheHierarchy::handleL3Victim(const Cache::Victim &victim)
     if (!victim.valid)
         return;
     bool dirty = victim.dirty;
-    const std::uint16_t sharers = victim.meta;
+    const std::uint64_t sharers = victim.meta;
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
-        if (!(sharers & (1u << c)))
+        if (!(sharers & (1ull << c)))
             continue;
         dirty |= l1d_[c]->invalidate(victim.line).dirty;
         l1i_[c]->invalidate(victim.line);
@@ -190,9 +190,9 @@ CacheHierarchy::fillComplete(LineAddr line, Cycle when)
     std::vector<MshrWaiter> waiters = std::move(it->second.waiters);
     mshrs_.erase(it);
 
-    std::uint16_t sharers = 0;
+    std::uint64_t sharers = 0;
     for (const auto &w : waiters)
-        sharers |= static_cast<std::uint16_t>(1u << w.core);
+        sharers |= 1ull << w.core;
 
     if (!l3_->contains(line))
         handleL3Victim(l3_->insert(line, false, sharers));

@@ -12,6 +12,7 @@
 #ifndef BANSHEE_COMMON_LOG_HH
 #define BANSHEE_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -59,15 +60,15 @@ extern int logVerbosity;
  * Like warn(), but fires at most once per call site for the lifetime
  * of the process — for conditions re-detected every epoch (telemetry
  * write failures, per-epoch policy anomalies) that would otherwise
- * flood long runs.
+ * flood long runs. Atomic so concurrent sweep workers hitting the
+ * same call site race benignly (at most one warning wins).
  */
 #define warn_once(...)                                                      \
     do {                                                                    \
-        static bool banshee_warned_once_ = false;                           \
-        if (!banshee_warned_once_) {                                        \
-            banshee_warned_once_ = true;                                    \
+        static std::atomic<bool> banshee_warned_once_{false};               \
+        if (!banshee_warned_once_.exchange(true,                            \
+                                           std::memory_order_relaxed))      \
             warn(__VA_ARGS__);                                              \
-        }                                                                   \
     } while (0)
 
 #define inform(...)                                                         \

@@ -11,6 +11,10 @@ CoreModel::CoreModel(CoreId id, const CoreParams &params, EventQueue &eq,
                      AccessPattern &pattern, std::uint64_t rngSeed)
     : id_(id), params_(params), eq_(eq), hierarchy_(hierarchy), tlb_(tlb),
       pattern_(pattern), rng_(rngSeed),
+      runEvent_([this] {
+          if (state_ == State::Running)
+              run();
+      }),
       codeBase_(codeRegionBase(id, params)),
       stats_("core" + std::to_string(id)),
       statInstrs_(stats_.counter("instructions")),
@@ -34,15 +38,9 @@ CoreModel::start()
 void
 CoreModel::scheduleRun(Cycle at)
 {
-    if (runScheduled_)
+    if (runEvent_.armed())
         return;
-    runScheduled_ = true;
-    const Cycle when = std::max(at, eq_.now());
-    eq_.schedule(when, [this] {
-        runScheduled_ = false;
-        if (state_ == State::Running)
-            run();
-    });
+    eq_.schedule(runEvent_, std::max(at, eq_.now()));
 }
 
 void

@@ -136,7 +136,8 @@ class CoreModel
     Rng rng_;
 
     State state_ = State::Idle;
-    bool runScheduled_ = false;
+    /** The core's one activation event; scheduleRun() arms it. */
+    TickEvent runEvent_;
     Cycle curCycle_ = 0;
     std::uint64_t instrRetired_ = 0;
     std::uint64_t instrLimit_ = 0;

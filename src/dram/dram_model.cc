@@ -16,6 +16,7 @@ DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
                          StatSet &stats, std::string name)
     : eq_(eq), timing_(timing), traffic_(traffic), power_(power),
       name_(std::move(name)), banks_(timing.numBanks),
+      kickEvent_([this] { kick(); }),
       statReqs_(stats.counter(name_ + ".requests")),
       statRowHits_(stats.counter(name_ + ".rowHits")),
       statRowConflicts_(stats.counter(name_ + ".rowConflicts")),
@@ -45,17 +46,12 @@ void
 DramChannel::armKick(Cycle when)
 {
     when = std::max(when, eq_.now());
-    if (kickArmed_ && kickCycle_ <= when)
+    // Supersede only to earlier cycles; re-arming is O(1) on the one
+    // preallocated event (no per-arm closure, no dead heap entries
+    // executing staleness filters).
+    if (kickEvent_.armed() && kickEvent_.when() <= when)
         return;
-    kickArmed_ = true;
-    kickCycle_ = when;
-    eq_.schedule(when, [this, when] {
-        if (kickArmed_ && kickCycle_ == when) {
-            kickArmed_ = false;
-            kickCycle_ = kNoCycle;
-            kick();
-        }
-    });
+    eq_.schedule(kickEvent_, when);
 }
 
 Cycle
@@ -185,10 +181,10 @@ DramChannel::issue(Pending p)
     }
 
     if (p.req.done) {
-        DramDoneFn done = std::move(p.req.done);
-        eq_.schedule(complete, [done = std::move(done), complete] {
-            done(complete);
-        });
+        // The CycleFn overload passes the firing cycle (== complete)
+        // straight through: the DramDoneFn moves into a pooled event
+        // node with no wrapper closure.
+        eq_.schedule(complete, std::move(p.req.done));
     }
 }
 

@@ -91,7 +91,7 @@ class DramChannel
         Cycle lastActStart = 0;     ///< for the tRAS constraint
     };
 
-    /** Ensure a scheduler kick is pending. */
+    /** Ensure a scheduler kick is pending at or before @p when. */
     void armKick(Cycle when);
 
     /** Scheduler: issue as many requests as the lookahead allows. */
@@ -122,8 +122,9 @@ class DramChannel
 
     Cycle busFree_ = 0;          ///< cycle the data bus becomes free
     Cycle busBusyCycles_ = 0;
-    bool kickArmed_ = false;
-    Cycle kickCycle_ = kNoCycle;
+    /** The one reusable scheduler-kick event for this channel;
+     *  armKick() re-arms it to earlier cycles in place. */
+    TickEvent kickEvent_;
     bool drainingWrites_ = false;
     std::uint64_t seq_ = 0;
 

@@ -16,35 +16,32 @@ OsServices::requestPteUpdate()
     for (auto &lock : locks_)
         lock(true);
 
-    // The interrupt handler runs on one randomly chosen core.
-    if (!cores_.empty()) {
-        const CoreId handler =
-            static_cast<CoreId>(rng_.nextBelow(cores_.size()));
-        cores_[handler].stall(costs_.pteUpdateRoutine);
-        eq_.scheduleAfter(costs_.pteUpdateRoutine, [this, handler] {
-            // Routine body: read all tag buffers, commit each page via
-            // the reverse map, then shoot down all TLBs.
-            for (auto &harvest : harvesters_) {
-                for (PageNum page : harvest()) {
-                    statPteWrites_ += pageTable_.commit(page);
-                    ++statPagesCommitted_;
-                }
-            }
-            shootdownAll(handler);
-            finishUpdate();
-        });
-    } else {
-        // Degenerate (test) configuration with no cores: commit now.
-        eq_.scheduleAfter(costs_.pteUpdateRoutine, [this] {
-            for (auto &harvest : harvesters_) {
-                for (PageNum page : harvest()) {
-                    statPteWrites_ += pageTable_.commit(page);
-                    ++statPagesCommitted_;
-                }
-            }
-            finishUpdate();
-        });
+    // The interrupt handler runs on one randomly chosen core (the
+    // degenerate no-core test configuration just commits). At most
+    // one update is in flight, so the routine completion is one
+    // reusable event.
+    updateHasHandler_ = !cores_.empty();
+    if (updateHasHandler_) {
+        updateHandler_ = static_cast<CoreId>(rng_.nextBelow(cores_.size()));
+        cores_[updateHandler_].stall(costs_.pteUpdateRoutine);
     }
+    eq_.scheduleAfter(updateDoneEvent_, costs_.pteUpdateRoutine);
+}
+
+void
+OsServices::updateDone()
+{
+    // Routine body: read all tag buffers, commit each page via the
+    // reverse map, then shoot down all TLBs.
+    for (auto &harvest : harvesters_) {
+        for (PageNum page : harvest()) {
+            statPteWrites_ += pageTable_.commit(page);
+            ++statPagesCommitted_;
+        }
+    }
+    if (updateHasHandler_)
+        shootdownAll(updateHandler_);
+    finishUpdate();
 }
 
 void

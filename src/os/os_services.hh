@@ -130,6 +130,9 @@ class OsServices
     std::uint64_t updateRuns() const { return statUpdates_.value(); }
 
   private:
+    /** PTE-update routine body: harvest + commit + shootdown. */
+    void updateDone();
+
     void finishUpdate();
 
     EventQueue &eq_;
@@ -141,6 +144,13 @@ class OsServices
     std::vector<LockFn> locks_;
     std::vector<UpdateListenerFn> updateListeners_;
     bool updateInProgress_ = false;
+    /** Handler core of the in-flight update; meaningful only when
+     *  updateHasHandler_ (the no-core test path skips shootdowns). */
+    CoreId updateHandler_ = 0;
+    bool updateHasHandler_ = false;
+    /** Completion of the in-flight PTE-update routine. At most one
+     *  update is in flight (updateInProgress_), so one event. */
+    TickEvent updateDoneEvent_{[this] { updateDone(); }};
 
     StatSet stats_;
     Counter &statUpdates_;

@@ -53,20 +53,13 @@ MigrationEngine::armTick(Cycle delay)
 {
     // An earlier (or equal) tick is already pending; a *later* one is
     // superseded so a kick() can cut a stall's back-off short — the
-    // stale event is disarmed by the cycle check below.
+    // re-arm drops the stale queue entry in place.
     const Cycle when = eq_.now() + delay;
     if (batchLat_ && batchStart_ == kNoCycle)
         batchStart_ = eq_.now();
-    if (tickArmed_ && tickCycle_ <= when)
+    if (tickEvent_.armed() && tickEvent_.when() <= when)
         return;
-    tickArmed_ = true;
-    tickCycle_ = when;
-    eq_.schedule(when, [this, when] {
-        if (!tickArmed_ || tickCycle_ != when)
-            return; // superseded by an earlier re-arm
-        tickArmed_ = false;
-        tick();
-    });
+    eq_.schedule(tickEvent_, when);
 }
 
 void

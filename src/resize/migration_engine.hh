@@ -84,8 +84,8 @@ class MigrationEngine
     std::function<void(PageNum)> onPageDone_;
     std::function<void()> onDrained_;
     bool active_ = false;
-    bool tickArmed_ = false;
-    Cycle tickCycle_ = 0; ///< cycle of the pending tick, if armed
+    /** The engine's one drain-tick event; armTick() re-arms it. */
+    TickEvent tickEvent_{[this] { tick(); }};
     Histogram *batchLat_ = nullptr;
     Cycle batchStart_ = kNoCycle; ///< arming cycle of the current batch
 

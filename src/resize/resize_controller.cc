@@ -101,7 +101,7 @@ ResizeController::onMeasureStart()
     prevTotalPJ_ = 0.0;
     prevBgRefPJ_ = 0.0;
     ewmaValid_ = false;
-    eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
+    eq_.scheduleAfter(epochEvent_, config_.policy.epoch);
 }
 
 void
@@ -193,7 +193,7 @@ ResizeController::epochTick()
 
     ++epochIndex_;
     if (!epochsStopped_)
-        eq_.scheduleAfter(config_.policy.epoch, [this] { epochTick(); });
+        eq_.scheduleAfter(epochEvent_, config_.policy.epoch);
 }
 
 void

@@ -182,6 +182,8 @@ class ResizeController
 
     std::uint64_t epochIndex_ = 0;
     bool epochsStopped_ = false;
+    /** The controller's epoch clock; re-armed each epochTick(). */
+    TickEvent epochEvent_{[this] { epochTick(); }};
     std::uint32_t pendingDomains_ = 0;
     /** Policy target awaiting an idle engine (deferred, not dropped). */
     std::optional<std::uint32_t> pendingTarget_;

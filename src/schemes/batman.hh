@@ -64,10 +64,7 @@ class BatmanController
     void
     armEpoch()
     {
-        eq_.scheduleAfter(params_.epoch, [this] {
-            tick();
-            armEpoch();
-        });
+        eq_.scheduleAfter(epochEvent_, params_.epoch);
     }
 
     void
@@ -101,6 +98,11 @@ class BatmanController
     const DramModel *inPkg_;
     const DramModel *offPkg_;
     BatmanParams params_;
+    /** The bypass controller's epoch clock; self-rearming. */
+    TickEvent epochEvent_{[this] {
+        tick();
+        armEpoch();
+    }};
     double bypassFraction_ = 0.0;
     std::uint64_t lastIn_ = 0;
     std::uint64_t lastOff_ = 0;

@@ -22,10 +22,7 @@ HmaScheme::HmaScheme(const SchemeContext &ctx, const HmaConfig &config)
 void
 HmaScheme::armEpoch()
 {
-    ctx_.eq->scheduleAfter(config_.epoch, [this] {
-        runEpoch();
-        armEpoch();
-    });
+    ctx_.eq->scheduleAfter(epochEvent_, config_.epoch);
 }
 
 void

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/event_queue.hh"
 #include "common/units.hh"
 #include "mem/scheme.hh"
 
@@ -62,6 +63,11 @@ class HmaScheme : public DramCacheScheme
     }
 
     HmaConfig config_;
+    /** The software remapper's epoch clock; self-rearming. */
+    TickEvent epochEvent_{[this] {
+        runEpoch();
+        armEpoch();
+    }};
     std::uint64_t numFrames_;
     std::unordered_map<PageNum, std::uint32_t> counts_;
     std::unordered_map<PageNum, Resident> resident_;

@@ -9,18 +9,18 @@ MetricRegistry::start(EventQueue &eq, Cycle epochCycles,
     sim_assert(epochCycles > 0, "telemetry epoch must be > 0 cycles");
     onSample_ = std::move(onSample);
     running_ = true;
-    eq.scheduleAfter(epochCycles,
-                     [this, &eq, epochCycles] { tick(eq, epochCycles); });
+    eq_ = &eq;
+    epochCycles_ = epochCycles;
+    eq.scheduleAfter(tickEvent_, epochCycles);
 }
 
 void
-MetricRegistry::tick(EventQueue &eq, Cycle epochCycles)
+MetricRegistry::tick()
 {
     if (!running_)
         return;
-    sample(eq.now());
-    eq.scheduleAfter(epochCycles,
-                     [this, &eq, epochCycles] { tick(eq, epochCycles); });
+    sample(eq_->now());
+    eq_->scheduleAfter(tickEvent_, epochCycles_);
 }
 
 const MetricRegistry::Sample &

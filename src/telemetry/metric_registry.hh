@@ -107,8 +107,13 @@ class MetricRegistry
     void start(EventQueue &eq, Cycle epochCycles,
                std::function<void(const Sample &)> onSample = nullptr);
 
-    /** Stop sampling (pending clock events disarm themselves). */
-    void stop() { running_ = false; }
+    /** Stop sampling; the pending clock event is cancelled. */
+    void
+    stop()
+    {
+        running_ = false;
+        tickEvent_.cancel();
+    }
 
     /** Take one sample now (the epoch clock calls this). */
     const Sample &sample(Cycle now);
@@ -128,7 +133,7 @@ class MetricRegistry
     }
 
   private:
-    void tick(EventQueue &eq, Cycle epochCycles);
+    void tick();
 
     std::vector<std::string> metricNames_;
     std::vector<GaugeFn> gauges_;
@@ -139,6 +144,10 @@ class MetricRegistry
     std::vector<Sample> series_;
     std::uint64_t nextEpoch_ = 0;
     bool running_ = false;
+    EventQueue *eq_ = nullptr;   ///< set by start()
+    Cycle epochCycles_ = 0;
+    /** The sampling clock; self-rearms in tick() while running. */
+    TickEvent tickEvent_{[this] { tick(); }};
     std::function<void(const Sample &)> onSample_;
 };
 

@@ -28,8 +28,9 @@ using TenantId = std::uint8_t;
 /** "No tenant": untagged traffic, shared slices, disabled features. */
 constexpr TenantId kNoTenant = 0xff;
 
-/** Upper bound on concurrently configured tenants (stat array size). */
-constexpr std::size_t kMaxTenants = 8;
+/** Upper bound on concurrently configured tenants (stat array size;
+ *  sized for the 16-tenant consolidation grids of ext_scale). */
+constexpr std::size_t kMaxTenants = 16;
 
 /**
  * Stat-bucket index for a tenant id: real tenants map to their own
