@@ -36,6 +36,9 @@ struct BenchOptions
      *  Opt-in: host timings are nondeterministic, and default JSON
      *  output is guarded byte-identical across engine refactors. */
     bool hostPerf = false;
+    /** Non-empty when --spans was given: the directory span traces
+     *  land in (one <label>.trace.json per experiment). */
+    std::string spansDir;
 };
 
 /**
@@ -46,20 +49,28 @@ struct BenchOptions
  *   --threads N      worker threads
  *   --json path      also emit machine-readable results (BENCH_*.json)
  *   --host-perf      stamp wall-clock + events/sec into --json output
- *   --telemetry path epoch-resolved JSONL trace (telemetry_summary.py)
+ *   --telemetry path epoch-resolved JSONL trace (telemetry_summary.py);
+ *                    a directory path writes one <label>.jsonl per run
+ *   --spans[=N]      span tracing into SPANS_<bench>/<label>.trace.json
+ *                    with sample shift N (default 6 = 1/64 of pages)
  *   --verbose / -v   raise log verbosity (also: BANSHEE_LOG env var)
+ *
+ * @p benchName names the binary in usage/error messages (argv[0] when
+ * empty) and the default --spans output directory.
  */
 inline BenchOptions
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, const std::string &benchName = "")
 {
     BenchOptions opt;
-    auto usage = [argv](const std::string &why) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], why.c_str());
+    const std::string prog = benchName.empty() ? argv[0] : benchName;
+    auto usage = [&prog](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", prog.c_str(), why.c_str());
         std::fprintf(stderr,
                      "usage: %s [--quick] [--full] "
                      "[--workloads a,b,c] [--threads N] [--json path] "
-                     "[--host-perf] [--telemetry path] [--verbose|-v]\n",
-                     argv[0]);
+                     "[--host-perf] [--telemetry path] [--spans[=N]] "
+                     "[--verbose|-v]\n",
+                     prog.c_str());
         std::exit(1);
     };
     for (int i = 1; i < argc; ++i) {
@@ -105,11 +116,36 @@ parseArgs(int argc, char **argv)
             opt.hostPerf = true;
         } else if (arg == "--telemetry" && i + 1 < argc) {
             opt.base.withTelemetry(argv[++i]);
+        } else if (arg == "--spans" ||
+                   arg.rfind("--spans=", 0) == 0) {
+            // Same strict-parse discipline as --threads: reject
+            // garbage shifts instead of silently sampling everything.
+            std::uint32_t shift = 6;
+            if (arg.size() > 7) {
+                const char *s = arg.c_str() + 8;
+                char *end = nullptr;
+                const unsigned long v = std::strtoul(s, &end, 10);
+                if (*s == '\0' || end == nullptr || *end != '\0' ||
+                    v > 24) {
+                    usage(std::string("--spans needs a sample shift in "
+                                      "[0, 24], got '") +
+                          s + "'");
+                }
+                shift = static_cast<std::uint32_t>(v);
+            }
+            opt.spansDir = "SPANS_" + prog;
+            opt.base.withSpanTrace(opt.spansDir + "/", shift);
         } else if (arg == "--verbose" || arg == "-v") {
             ++banshee::logVerbosity;
         } else {
             usage("unknown or incomplete argument '" + arg + "'");
         }
+    }
+    if (!opt.spansDir.empty()) {
+        std::printf("[spans] tracing 1/%u of pages into %s/ "
+                    "(scripts/spans_to_perfetto.py)\n",
+                    1u << opt.base.spans.sampleShift,
+                    opt.spansDir.c_str());
     }
     return opt;
 }

@@ -22,7 +22,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "ext_bandwidth_balance");
     printBanner("Section 5.4.2: BATMAN bandwidth balancing on Alloy "
                 "and Banshee",
                 "Banshee (MICRO'17), Section 5.4.2");

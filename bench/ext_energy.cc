@@ -31,7 +31,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "ext_energy");
     if (!opt.workloadsExplicit)
         opt.workloads = {"omnetpp", "mcf", "milc", "gcc"};
     printBanner("Extension: DRAM energy per scheme + power-cap-driven "

@@ -20,7 +20,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "ext_large_pages");
     bool defaultList = true;
     for (int i = 1; i < argc; ++i)
         if (std::string(argv[i]) == "--workloads")

@@ -40,7 +40,7 @@ offPkgTotal(const RunResult &r)
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "ext_resize");
     printBanner("Extension: dynamic cache resizing — consistent hash "
                 "vs flush",
                 "Chang et al. (consistent-hash DRAM cache resizing), "

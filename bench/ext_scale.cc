@@ -147,7 +147,8 @@ main(int argc, char **argv)
         args.push_back(argv[i]);
     }
     BenchOptions opt =
-        parseArgs(static_cast<int>(args.size()), args.data());
+        parseArgs(static_cast<int>(args.size()), args.data(),
+                  "ext_scale");
     printBanner("Extension: sweep throughput at consolidation scale "
                 "(64 cores, 16 tenants)",
                 "Banshee (MICRO'17) evaluation grids; sharded sweep "

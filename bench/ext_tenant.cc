@@ -59,7 +59,7 @@ mixTenants(std::uint32_t coresPerTenant)
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "ext_tenant");
     printBanner("Extension: multi-tenant DRAM-cache partitioning + QoS "
                 "arbitration",
                 "Banshee (MICRO'17) software-managed placement; Chang "
@@ -191,7 +191,9 @@ main(int argc, char **argv)
         c.resize.tenantWeights = {1.0, 1.0};
         qosExps.push_back({"resident/qos-rebalance", c});
     }
-    std::vector<RunResult> qosResults = runExperiments(qosExps, opt.threads);
+    SweepPerf qosPerf;
+    std::vector<RunResult> qosResults =
+        runExperiments(qosExps, opt.threads, true, &qosPerf);
     const RunResult &qos = qosResults[0];
 
     std::printf("\nQoS arbitration after a quota change (layout 4/4, "
@@ -212,10 +214,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(qos.qosReassigns),
                 qos.tenants[0].slicesOwned);
 
+    // Fold the QoS sweep into the isolation sweep's results — and its
+    // host perf: writeResultsJson requires one perf entry per result,
+    // so --host-perf used to panic here.
     for (std::size_t i = 0; i < qosExps.size(); ++i) {
         exps.push_back(std::move(qosExps[i]));
         results.push_back(qosResults[i]);
     }
+    perf.wallSeconds += qosPerf.wallSeconds;
+    perf.experiments.insert(perf.experiments.end(),
+                            qosPerf.experiments.begin(),
+                            qosPerf.experiments.end());
     maybeWriteJson(opt, "ext_tenant", exps, results, &perf);
     return 0;
 }

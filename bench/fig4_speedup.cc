@@ -20,7 +20,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig4_speedup");
     printBanner("Figure 4: speedup normalized to NoCache (MPKI in "
                 "parentheses)",
                 "Banshee (MICRO'17), Fig. 4");

@@ -20,7 +20,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig5_inpkg_traffic");
     printBanner("Figure 5: in-package DRAM traffic breakdown "
                 "(bytes/instruction)",
                 "Banshee (MICRO'17), Fig. 5");

@@ -19,7 +19,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig6_offpkg_traffic");
     printBanner("Figure 6: off-package DRAM traffic (bytes/instruction)",
                 "Banshee (MICRO'17), Fig. 6");
 

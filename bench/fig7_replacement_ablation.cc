@@ -21,7 +21,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig7_replacement_ablation");
     printBanner("Figure 7: replacement-policy ablation "
                 "(speedup vs NoCache, in-package traffic)",
                 "Banshee (MICRO'17), Fig. 7");

@@ -36,7 +36,7 @@ const std::vector<std::pair<std::string, SchemeKind>> kSchemes = {
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig8_latency_bandwidth");
     bool defaultList = true;
     for (int i = 1; i < argc; ++i)
         if (std::string(argv[i]) == "--workloads")

@@ -20,7 +20,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "fig9_sampling");
     printBanner("Figure 9: sampling-coefficient sweep (Banshee)",
                 "Banshee (MICRO'17), Fig. 9");
 

@@ -25,7 +25,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "table1_behavior");
     printBanner("Table 1: per-scheme DRAM cache behavior (measured)",
                 "Banshee (MICRO'17), Table 1");
 

@@ -22,7 +22,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "table5_pte_update");
     printBanner("Table 5: page-table update overhead (Banshee)",
                 "Banshee (MICRO'17), Table 5");
 

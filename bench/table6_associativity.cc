@@ -20,7 +20,7 @@ using namespace banshee::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseArgs(argc, argv);
+    BenchOptions opt = parseArgs(argc, argv, "table6_associativity");
     printBanner("Table 6: cache miss rate vs. associativity (Banshee)",
                 "Banshee (MICRO'17), Table 6");
 

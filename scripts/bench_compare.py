@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json run against a committed baseline.
+
+The perf-regression gate: CI reruns a bench with --json (and
+--host-perf) and diffs it against bench/baselines/<name>.json. Two
+classes of metric:
+
+  * Deterministic simulation results (ipc, missRate, cycles, traffic
+    bytes, energy per instruction): these are exactly reproducible,
+    so any drift beyond --tolerance (default 15%) fails. Drift here
+    means a behavioral change — refresh the baseline deliberately
+    (rerun the bench and commit the new file) when the change is
+    intended.
+  * Host throughput (eventsPerSec, per-result and sweep-wide):
+    compared only when both files carry it, against the looser
+    --perf-tolerance (default 50% — shared CI runners are noisy);
+    only slowdowns fail, speedups just print.
+
+Labels present in the baseline but missing from the fresh run are
+errors (a bench silently dropping an experiment is a regression);
+extra fresh labels only warn, so adding experiments does not require
+touching the gate.
+
+Usage:
+    bench_compare.py baseline.json fresh.json
+    bench_compare.py baseline.json fresh.json --tolerance 0.10
+    bench_compare.py baseline.json fresh.json --no-host-perf
+
+Stdlib only (CI runs it next to the bench binaries).
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic per-result scalars worth gating. Traffic and energy
+# summarize as sums so one noisy category cannot fail the gate alone.
+SCALARS = ["ipc", "missRate", "cycles", "energyPerInstrPJ"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: {path}: {e}")
+    if "results" not in doc:
+        sys.exit(f"error: {path}: no 'results' array")
+    return doc
+
+
+def traffic_sum(result, key):
+    cats = result.get(key, {})
+    return sum(cats.values()) if isinstance(cats, dict) else 0
+
+
+def rel_drift(base, fresh):
+    if base == 0:
+        return 0.0 if fresh == 0 else float("inf")
+    return (fresh - base) / base
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.checked = 0
+
+    def check(self, label, metric, base, fresh, tol, lower_is_bad=False):
+        """Two-sided by default; lower_is_bad gates only decreases
+        (host throughput: a slowdown fails, a speedup just prints)."""
+        self.checked += 1
+        drift = rel_drift(base, fresh)
+        bad = drift < -tol if lower_is_bad else abs(drift) > tol
+        line = (f"  {label:40} {metric:20} {base:>14.6g} -> "
+                f"{fresh:>14.6g}  {100 * drift:+7.2f}%")
+        if bad:
+            self.failures.append(line)
+            print(line + "  FAIL")
+        elif abs(drift) > tol / 2:
+            print(line)  # worth eyeballing, not worth failing
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="deterministic-metric gate (default 0.15)")
+    ap.add_argument("--perf-tolerance", type=float, default=0.50,
+                    help="host events/sec slowdown gate (default 0.50)")
+    ap.add_argument("--no-host-perf", action="store_true",
+                    help="skip host-throughput comparison entirely")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    if base_doc.get("bench") != fresh_doc.get("bench"):
+        sys.exit(f"error: bench mismatch: {base_doc.get('bench')!r} vs "
+                 f"{fresh_doc.get('bench')!r}")
+
+    base_by = {r["label"]: r for r in base_doc["results"]}
+    fresh_by = {r["label"]: r for r in fresh_doc["results"]}
+
+    missing = sorted(set(base_by) - set(fresh_by))
+    if missing:
+        sys.exit(f"error: fresh run is missing baseline labels: "
+                 f"{', '.join(missing)}")
+    for label in sorted(set(fresh_by) - set(base_by)):
+        print(f"warning: label {label!r} not in baseline (unchecked)")
+
+    gate = Gate()
+    for label, base in base_by.items():
+        fresh = fresh_by[label]
+        for metric in SCALARS:
+            if metric in base and metric in fresh:
+                gate.check(label, metric, base[metric], fresh[metric],
+                           args.tolerance)
+        for key in ("inPkgBytes", "offPkgBytes"):
+            gate.check(label, key + ".sum", traffic_sum(base, key),
+                       traffic_sum(fresh, key), args.tolerance)
+        if (not args.no_host_perf and "hostPerf" in base
+                and "hostPerf" in fresh):
+            gate.check(label, "hostPerf.eventsPerSec",
+                       base["hostPerf"].get("eventsPerSec", 0),
+                       fresh["hostPerf"].get("eventsPerSec", 0),
+                       args.perf_tolerance, lower_is_bad=True)
+
+    if (not args.no_host_perf and "sweepHostPerf" in base_doc
+            and "sweepHostPerf" in fresh_doc):
+        gate.check("<sweep>", "eventsPerSec",
+                   base_doc["sweepHostPerf"].get("eventsPerSec", 0),
+                   fresh_doc["sweepHostPerf"].get("eventsPerSec", 0),
+                   args.perf_tolerance, lower_is_bad=True)
+
+    if gate.failures:
+        print(f"\n{len(gate.failures)} of {gate.checked} checks "
+              f"regressed beyond tolerance:")
+        for line in gate.failures:
+            print(line)
+        sys.exit(1)
+    print(f"OK: {gate.checked} checks within tolerance "
+          f"({len(base_by)} labels)")
+
+
+if __name__ == "__main__":
+    main()

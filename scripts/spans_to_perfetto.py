@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Validate, summarize or merge Banshee span traces (span_trace.cc).
+
+The simulator already writes Chrome trace-event JSON — a top-level
+array of event objects — so the files load directly in Perfetto
+(ui.perfetto.dev) or chrome://tracing. This script is the tooling
+around that:
+
+    spans_to_perfetto.py trace.json            # --check + --summary
+    spans_to_perfetto.py trace.json --check    # well-formedness gate
+    spans_to_perfetto.py trace.json --summary  # queue-vs-service table
+    spans_to_perfetto.py a.json b.json --merge out.json
+                                               # side-by-side compare
+
+--check validates what Perfetto's importer assumes and what the
+simulator promises:
+  * the file is a JSON array of objects with name/ph/pid/tid;
+  * duration events nest: per (pid, tid) track, every B has a
+    matching same-name E and the stack closes empty (events are
+    stable-sorted by ts first — the writer emits in completion
+    order, which is not time order);
+  * async events pair: per (pid, cat, id), b and e counts match and
+    no e precedes its b;
+  * complete (X) events carry dur >= 0, instants carry scope "t".
+
+--summary reconstructs the causal story: per-channel queueing vs
+service time, per-page residency, eviction causes, fetch latency —
+split by tenant when tenant ids are present.
+
+Stdlib only (CI runs it next to the bench binaries).
+"""
+
+import argparse
+import json
+import signal
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(events, list):
+        fail(f"{path}: top level is not a JSON array")
+    return events
+
+
+def check(path, events):
+    """Validate one trace; returns a list of problem strings."""
+    problems = []
+
+    def bad(i, ev, why):
+        problems.append(f"{path}: event {i} {ev.get('name')!r}: {why}")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"{path}: event {i} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                bad(i, ev, f"missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "X", "i", "b", "e", "M"):
+            bad(i, ev, f"unknown phase {ph!r}")
+            continue
+        if ph != "M" and "ts" not in ev:
+            bad(i, ev, "missing 'ts'")
+        if ph == "X" and ev.get("dur", -1) < 0:
+            bad(i, ev, "complete event without dur >= 0")
+        if ph == "i" and ev.get("s") != "t":
+            bad(i, ev, "instant without thread scope")
+        if ph in ("b", "e") and ("cat" not in ev or "id" not in ev):
+            bad(i, ev, "async event without cat/id")
+    if problems:
+        return problems
+
+    # Duration nesting per (pid, tid). The writer emits events when
+    # they complete, so sibling spans can appear out of time order;
+    # stable-sort by ts (E before B at equal ts so zero-length spans
+    # close before their successor opens) exactly as importers do.
+    order = {"E": 0, "B": 1}
+    tracks = defaultdict(list)
+    for i, ev in enumerate(events):
+        if ev["ph"] in ("B", "E"):
+            tracks[(ev["pid"], ev["tid"])].append(ev)
+    for (pid, tid), track in tracks.items():
+        track.sort(key=lambda ev: (ev["ts"], order[ev["ph"]]))
+        stack = []
+        for ev in track:
+            if ev["ph"] == "B":
+                stack.append(ev["name"])
+            elif not stack:
+                problems.append(
+                    f"{path}: track pid={pid} tid={tid}: E "
+                    f"{ev['name']!r} at ts={ev['ts']} with empty stack")
+            elif stack[-1] != ev["name"]:
+                problems.append(
+                    f"{path}: track pid={pid} tid={tid}: E "
+                    f"{ev['name']!r} at ts={ev['ts']} crosses open "
+                    f"B {stack[-1]!r}")
+                stack.pop()
+            else:
+                stack.pop()
+        for name in stack:
+            problems.append(
+                f"{path}: track pid={pid} tid={tid}: B {name!r} "
+                f"never closed")
+
+    # Async pairing per (pid, cat, id): overlap is legal, imbalance
+    # and e-before-b are not.
+    pairs = defaultdict(lambda: [0, 0])  # opened, closed
+    for ev in events:
+        if ev["ph"] not in ("b", "e"):
+            continue
+        key = (ev["pid"], ev["cat"], ev["id"])
+        if ev["ph"] == "b":
+            pairs[key][0] += 1
+        else:
+            pairs[key][1] += 1
+            if pairs[key][1] > pairs[key][0]:
+                problems.append(
+                    f"{path}: async {key}: 'e' before its 'b'")
+    for key, (opened, closed) in pairs.items():
+        if opened != closed:
+            problems.append(
+                f"{path}: async {key}: {opened} 'b' vs {closed} 'e'")
+    return problems
+
+
+def thread_names(events):
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    return names
+
+
+def summarize(path, events):
+    names = thread_names(events)
+    print(f"== {path} ==")
+    info = next((e for e in events if e.get("name") == "run_info"), None)
+    if info:
+        args = info.get("args", {})
+        print("  run: " + ", ".join(f"{k}={v}" for k, v in args.items()))
+    tenant_names = {
+        e["args"]["id"]: e["args"]["name"]
+        for e in events
+        if e.get("name") == "tenant" and e.get("ph") == "i"
+        and e.get("pid") == 3 and e.get("tid") == 0
+    }
+
+    # Channel tracks (pid 2): queue/service async pairs share one id
+    # per request; only the queue 'b' carries the request args
+    # (tenant, rw, cat), so remember the tenant per id.
+    opens = {}
+    req_tenant = {}
+    chan = defaultdict(lambda: defaultdict(lambda: [0, 0.0, 0.0]))
+    for ev in events:
+        if ev.get("pid") != 2 or ev["ph"] not in ("b", "e"):
+            continue
+        key = (ev["cat"], ev["id"], ev["name"])
+        if ev["ph"] == "b":
+            opens[key] = ev
+            if ev["name"] == "queue":
+                req_tenant[(ev["cat"], ev["id"])] = \
+                    ev.get("args", {}).get("tenant", 255)
+        else:
+            b = opens.pop(key, None)
+            if b is None:
+                continue
+            dur = ev["ts"] - b["ts"]
+            tenant = req_tenant.get((ev["cat"], ev["id"]), 255)
+            slot = chan[ev["cat"]][tenant_names.get(tenant, "-")]
+            if ev["name"] == "queue":
+                slot[0] += 1
+                slot[1] += dur
+            else:
+                slot[2] += dur
+                req_tenant.pop((ev["cat"], ev["id"]), None)
+    if chan:
+        print(f"  {'channel':24} {'tenant':12} {'reqs':>8} "
+              f"{'avg queue us':>14} {'avg service us':>14}")
+        for track in sorted(chan):
+            for tname, (n, q, s) in sorted(chan[track].items()):
+                if n == 0:
+                    continue
+                print(f"  {track:24} {tname:12} {n:8} "
+                      f"{q / n:14.3f} {s / n:14.3f}")
+
+    # Page residency (pid 1): B/E "resident" spans per page track.
+    res_open = {}
+    res_total = defaultdict(float)
+    res_count = defaultdict(int)
+    causes = defaultdict(int)
+    for ev in events:
+        if ev.get("pid") != 1 or ev.get("name") != "resident":
+            continue
+        tid = ev["tid"]
+        if ev["ph"] == "B":
+            res_open[tid] = ev["ts"]
+        elif ev["ph"] == "E" and tid in res_open:
+            res_total[tid] += ev["ts"] - res_open.pop(tid)
+            res_count[tid] += 1
+            causes[ev.get("args", {}).get("cause", "?")] += 1
+    if res_count:
+        pages = len(res_count)
+        spans = sum(res_count.values())
+        total = sum(res_total.values())
+        print(f"  residency: {spans} spans over {pages} sampled pages, "
+              f"avg {total / spans:.1f} us")
+        print("  eviction causes: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(causes.items())))
+
+    # Fetch latency (pid 1 async "fetch").
+    fetch_open = {}
+    fetch_n, fetch_us = 0, 0.0
+    for ev in events:
+        if ev.get("pid") != 1 or ev.get("name") != "fetch":
+            continue
+        key = (ev["cat"], ev["id"])
+        if ev["ph"] == "b":
+            fetch_open[key] = ev["ts"]
+        elif ev["ph"] == "e" and key in fetch_open:
+            fetch_us += ev["ts"] - fetch_open.pop(key)
+            fetch_n += 1
+    if fetch_n:
+        print(f"  fetches: {fetch_n} sampled, "
+              f"avg {fetch_us / fetch_n:.3f} us")
+    _ = names  # track names only matter for --merge output
+
+
+def merge(paths, out):
+    """Concatenate traces side by side: trace k's pids shift by 10*k
+    so each file's pages/channels/control land in their own process
+    group, labelled with the source run."""
+    merged = []
+    for k, path in enumerate(paths):
+        events = load(path)
+        label = None
+        for ev in events:
+            if ev.get("name") == "run_info":
+                label = ev.get("args", {}).get("label") or None
+                break
+        prefix = label or path
+        for ev in events:
+            ev = dict(ev)
+            ev["pid"] = ev["pid"] + 10 * k
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                ev = dict(ev, args={
+                    "name": f"{prefix}: {ev['args']['name']}"})
+            merged.append(ev)
+    with open(out, "w") as f:
+        json.dump(merged, f)
+    print(f"merged {len(paths)} traces ({len(merged)} events) -> {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("traces", nargs="+", help="*.trace.json files")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only (exit 1 on problems)")
+    ap.add_argument("--summary", action="store_true",
+                    help="print per-channel / per-tenant tables only")
+    ap.add_argument("--merge", metavar="OUT",
+                    help="write one merged Perfetto file")
+    args = ap.parse_args()
+
+    if args.merge:
+        merge(args.traces, args.merge)
+        return
+
+    do_check = args.check or not args.summary
+    do_summary = args.summary or not args.check
+    bad = 0
+    for path in args.traces:
+        events = load(path)
+        if do_check:
+            problems = check(path, events)
+            for p in problems[:20]:
+                print(p, file=sys.stderr)
+            if len(problems) > 20:
+                print(f"... {len(problems) - 20} more", file=sys.stderr)
+            if problems:
+                bad += 1
+            else:
+                print(f"{path}: OK ({len(events)} events)")
+        if do_summary and not bad:
+            summarize(path, events)
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    # Die quietly when the output is piped into head/less and closed.
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    main()

@@ -196,6 +196,25 @@ def main():
                     help="emit the timelines as CSV")
     args = ap.parse_args()
 
+    # Span traces (Chrome trace-event JSON arrays from --spans) have
+    # their own validator; delegate so `--check` works on either
+    # artifact the simulator writes.
+    with open(args.trace) as f:
+        first = f.read(1)
+    if first == "[":
+        import spans_to_perfetto
+        events = spans_to_perfetto.load(args.trace)
+        problems = spans_to_perfetto.check(args.trace, events)
+        for p in problems:
+            print(p, file=sys.stderr)
+        if not problems:
+            print(f"{args.trace}: OK ({len(events)} span events)")
+        if args.check:
+            sys.exit(1 if problems else 0)
+        if not problems:
+            spans_to_perfetto.summarize(args.trace, events)
+        sys.exit(1 if problems else 0)
+
     runs, errors = load(args.trace)
     if args.check:
         sys.exit(check(runs, errors))

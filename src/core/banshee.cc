@@ -77,10 +77,13 @@ BansheeScheme::currentSampleRate() const
 
 PageMapping
 BansheeScheme::resolveMapping(PageNum page, const MappingInfo &carried,
-                              bool insertCleanOnMiss)
+                              bool insertCleanOnMiss, bool *tbHit)
 {
-    if (auto tb = tagBuffer_.lookup(page))
+    if (auto tb = tagBuffer_.lookup(page)) {
+        if (tbHit)
+            *tbHit = true;
         return *tb;
+    }
 
     // Tag Buffer miss: the lazy-coherence invariant guarantees the
     // PTEs are up to date for this page.
@@ -109,10 +112,12 @@ BansheeScheme::resolveMapping(PageNum page, const MappingInfo &carried,
 
 void
 BansheeScheme::chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat,
-                                TenantId tenant)
+                                TenantId tenant, PageNum spanPage)
 {
-    inPkgAccess(metaAddr(setIdx), 32, 0, false, cat, nullptr, tenant);
-    inPkgAccess(metaAddr(setIdx), 32, 0, true, cat, nullptr, tenant);
+    inPkgAccess(metaAddr(setIdx), 32, 0, false, cat, nullptr, tenant,
+                spanPage);
+    inPkgAccess(metaAddr(setIdx), 32, 0, true, cat, nullptr, tenant,
+                spanPage);
 }
 
 void
@@ -123,10 +128,19 @@ BansheeScheme::demandFetch(LineAddr line, const MappingInfo &mapping,
     const PageNum page = pageOfLine64(line);
     const TenantId tenant = tenantOfAddr(lineToAddr(line));
     const std::uint32_t setIdx = setOf(page);
-    const PageMapping m = resolveMapping(page, mapping, true);
+    bool tbHit = false;
+    const PageMapping m = resolveMapping(page, mapping, true, &tbHit);
 
     recordAccess(m.cached, tenant);
     missRate_.record(!m.cached);
+
+    const PageNum spanPage = spanPageOf(page);
+    if (spanPage != kNoSpanPage) {
+        spans_->pageInstant(page, "access", ctx_.eq->now(),
+                            {{"tb", tbHit ? "hit" : "miss"},
+                             {"cache", m.cached ? "hit" : "miss"},
+                             {"tenant", static_cast<std::uint32_t>(tenant)}});
+    }
 
     if (config_.policy == BansheeConfig::Policy::LruEveryMiss)
         lruTouchAndReplace(page, setIdx, m.cached, m.way, tenant);
@@ -137,9 +151,10 @@ BansheeScheme::demandFetch(LineAddr line, const MappingInfo &mapping,
         const Addr dev = frameAddr(setIdx, m.way) +
                          (lineToAddr(line) & (pageBytes_ - 1));
         inPkgAccess(dev, kLineBytes, 0, false, TrafficCat::HitData,
-                    std::move(done), tenant);
+                    std::move(done), tenant, spanPage);
     } else {
-        offPkgRead64(line, TrafficCat::Demand, std::move(done), tenant);
+        offPkgRead64(line, TrafficCat::Demand, std::move(done), tenant,
+                     spanPage);
     }
 }
 
@@ -149,8 +164,10 @@ BansheeScheme::demandWriteback(LineAddr line)
     const PageNum page = pageOfLine64(line);
     const TenantId tenant = tenantOfAddr(lineToAddr(line));
     const std::uint32_t setIdx = setOf(page);
+    const PageNum spanPage = spanPageOf(page);
 
     PageMapping m;
+    bool tagProbe = false;
     if (auto tb = tagBuffer_.lookup(page)) {
         m = *tb;
     } else {
@@ -158,20 +175,27 @@ BansheeScheme::demandWriteback(LineAddr line)
         // the DRAM cache (32 B read) and stash a clean copy so the
         // next eviction of this page avoids the probe (Section 3.3).
         ++statTagProbes_;
+        tagProbe = true;
         inPkgAccess(metaAddr(setIdx), 32, 32, false, TrafficCat::Tag,
-                    nullptr, tenant);
+                    nullptr, tenant, spanPage);
         m = ctx_.pageTable->currentMapping(page);
         tagBuffer_.insertClean(page, m);
+    }
+
+    if (spanPage != kNoSpanPage) {
+        spans_->pageInstant(page, "writeback", ctx_.eq->now(),
+                            {{"dest", m.cached ? "inpkg" : "offpkg"},
+                             {"tag_probe", tagProbe ? 1 : 0}});
     }
 
     if (m.cached) {
         const Addr dev = frameAddr(setIdx, m.way) +
                          (lineToAddr(line) & (pageBytes_ - 1));
         inPkgAccess(dev, kLineBytes, 0, true, TrafficCat::HitData, nullptr,
-                    tenant);
+                    tenant, spanPage);
         dir_.cached(setIdx, m.way).dirty = true;
     } else {
-        offPkgWrite64(line, TrafficCat::Writeback, tenant);
+        offPkgWrite64(line, TrafficCat::Writeback, tenant, spanPage);
     }
 }
 
@@ -188,7 +212,8 @@ BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
         return;
 
     ++statSampled_;
-    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant);
+    const PageNum spanPage = spanPageOf(page);
+    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant, spanPage);
 
     if (hit) {
         // Algorithm 1 lines 5-6: increment; halve all on saturation.
@@ -206,8 +231,22 @@ BansheeScheme::fbrSampleAndReplace(PageNum page, std::uint32_t setIdx,
         const double candCount = dir_.candidate(setIdx, *slot).count;
         // Algorithm 1 line 7: replace only when the candidate leads
         // the coldest cached page by the bandwidth-aware threshold.
-        if (candCount > victimCount + threshold_)
+        if (candCount > victimCount + threshold_) {
+            // "fbr_admit" records the decision; a tag-buffer-blocked
+            // replacement still shows up as admit + repl_blocked.
+            if (spanPage != kNoSpanPage) {
+                spans_->pageInstant(page, "fbr_admit", ctx_.eq->now(),
+                                    {{"cand", candCount},
+                                     {"victim", victimCount},
+                                     {"threshold", threshold_}});
+            }
             executeReplacement(page, setIdx, victimWay, tenant);
+        } else if (spanPage != kNoSpanPage) {
+            spans_->pageInstant(page, "fbr_reject", ctx_.eq->now(),
+                                {{"cand", candCount},
+                                 {"victim", victimCount},
+                                 {"threshold", threshold_}});
+        }
         if (saturated) {
             ++statCounterOverflows_;
             dir_.halveAll(setIdx);
@@ -236,7 +275,8 @@ BansheeScheme::lruTouchAndReplace(PageNum page, std::uint32_t setIdx,
 {
     // LRU bits live in the same tag rows: every access reads and
     // updates them — the bandwidth cost Unison pays (Table 1).
-    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant);
+    chargeMetadataRw(setIdx, TrafficCat::Counter, tenant,
+                     spanPageOf(page));
 
     if (hit) {
         dir_.cached(setIdx, hitWay).lruStamp = lruStampCounter_++;
@@ -275,9 +315,14 @@ BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
                                   std::uint32_t way, TenantId tenant)
 {
     const FbrDirectory::CachedEntry &pre = dir_.cached(setIdx, way);
+    const PageNum spanPage = spanPageOf(page);
     if (replacementsLocked_ || !tagBuffer_.canAcceptRemaps(2) ||
         !tagBuffer_.canInsertRemapPair(page, pre.valid, pre.tag)) {
         ++statReplacementsBlocked_;
+        if (spanPage != kNoSpanPage) {
+            spans_->pageInstant(page, "repl_blocked", ctx_.eq->now(),
+                                {{"locked", replacementsLocked_ ? 1 : 0}});
+        }
         if (!replacementsLocked_ && ctx_.os)
             ctx_.os->requestPteUpdate();
         return;
@@ -290,22 +335,35 @@ BansheeScheme::executeReplacement(PageNum page, std::uint32_t setIdx,
     // it into the frame; a dirty victim makes the round trip back,
     // charged to the victim page's own tenant.
     offPkgBulk(pageAddr(page), pageBytes_, false, TrafficCat::Fill, nullptr,
-               tenant);
+               tenant, spanPage);
     inPkgBulk(frameAddr(setIdx, way), pageBytes_, true,
-              TrafficCat::Replacement, nullptr, tenant);
+              TrafficCat::Replacement, nullptr, tenant, spanPage);
 
     const FbrDirectory::CachedEntry victim = dir_.promote(setIdx, way,
                                                           *slot);
     ++statInserts_;
+    if (spanPage != kNoSpanPage) {
+        spans_->residentBegin(page, ctx_.eq->now(),
+                              {{"set", setIdx},
+                               {"way", way},
+                               {"tenant", static_cast<std::uint32_t>(tenant)}});
+    }
     if (victim.valid) {
         ++statEvictions_;
+        const PageNum victimSpan = spanPageOf(victim.tag);
         if (victim.dirty) {
             ++statDirtyEvictions_;
             const TenantId victimTenant = pageTenant(victim.tag);
             inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
-                      TrafficCat::Replacement, nullptr, victimTenant);
+                      TrafficCat::Replacement, nullptr, victimTenant,
+                      victimSpan);
             offPkgBulk(pageAddr(victim.tag), pageBytes_, true,
-                       TrafficCat::Writeback, nullptr, victimTenant);
+                       TrafficCat::Writeback, nullptr, victimTenant,
+                       victimSpan);
+        }
+        if (victimSpan != kNoSpanPage) {
+            spans_->residentEnd(victim.tag, ctx_.eq->now(), "replaced",
+                                victim.dirty);
         }
     }
 
@@ -373,13 +431,16 @@ BansheeScheme::evictFrame(std::uint32_t setIdx, std::uint32_t way)
     // A dirty page makes the round trip through the DRAM models so
     // migration competes with demand traffic for bus time; a clean
     // page is dropped for free (its off-package copy is current).
+    const PageNum spanPage = spanPageOf(page);
     if (wasDirty) {
         const TenantId tenant = pageTenant(page);
         inPkgBulk(frameAddr(setIdx, way), pageBytes_, false,
-                  TrafficCat::Migration, nullptr, tenant);
+                  TrafficCat::Migration, nullptr, tenant, spanPage);
         offPkgBulk(pageAddr(page), pageBytes_, true, TrafficCat::Migration,
-                   nullptr, tenant);
+                   nullptr, tenant, spanPage);
     }
+    if (spanPage != kNoSpanPage)
+        spans_->residentEnd(page, ctx_.eq->now(), "migration", wasDirty);
     dir_.invalidate(setIdx, way);
     ++statResizeEvictions_;
     if (wasDirty)

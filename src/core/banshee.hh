@@ -186,9 +186,12 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
      * page table (whose committed view is guaranteed fresh when the
      * Tag Buffer misses). Optionally checks the invariant that a
      * request carrying stale bits implies a Tag Buffer hit.
+     * @p tbHit (optional) reports whether the Tag Buffer answered —
+     * lookup() touches LRU state, so callers must not probe twice.
      */
     PageMapping resolveMapping(PageNum page, const MappingInfo &carried,
-                               bool insertCleanOnMiss);
+                               bool insertCleanOnMiss,
+                               bool *tbHit = nullptr);
 
     /** Algorithm 1: sampling, counter maintenance, replacement. */
     void fbrSampleAndReplace(PageNum page, std::uint32_t setIdx, bool hit,
@@ -204,7 +207,8 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
 
     /** Charge a 32 B metadata read + write pair. */
     void chargeMetadataRw(std::uint32_t setIdx, TrafficCat cat,
-                          TenantId tenant);
+                          TenantId tenant,
+                          PageNum spanPage = kNoSpanPage);
 
     BansheeConfig config_;
     FbrDirectory dir_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "telemetry/dram_hooks.hh"
+#include "telemetry/span_trace.hh"
 
 namespace banshee {
 
@@ -180,6 +181,15 @@ DramChannel::issue(Pending p)
         }
     }
 
+    if (spans_ && p.req.spanPage != kNoSpanPage) {
+        // Queue slice (arrival -> bus grant) + service slice (grant ->
+        // completion): all three times are known at issue, and the
+        // journal only observes, so tracing cannot perturb timing.
+        spans_->channelRequest(spanTrack_, p.req.spanPage, p.arrival,
+                               busStart, complete, p.req.isWrite,
+                               p.req.cat, p.req.tenant);
+    }
+
     if (p.req.done) {
         // The CycleFn overload passes the firing cycle (== complete)
         // straight through: the DramDoneFn moves into a pooled event
@@ -230,7 +240,7 @@ DramModel::DramModel(EventQueue &eq, DramTiming timing,
 void
 DramModel::bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
                       bool isWrite, TrafficCat cat, DramDoneFn done,
-                      TenantId tenant)
+                      TenantId tenant, PageNum spanPage)
 {
     sim_assert(bytes > 0, "empty bulk access");
     const std::uint32_t chunk = kMaxRequestBytes / 2; // 256 B pieces
@@ -249,6 +259,7 @@ DramModel::bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
         req.isWrite = isWrite;
         req.cat = cat;
         req.tenant = tenant;
+        req.spanPage = spanPage;
         if (done) {
             req.done = [outstanding, done](Cycle when) {
                 if (--*outstanding == 0)

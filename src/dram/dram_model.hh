@@ -36,12 +36,16 @@
 namespace banshee {
 
 struct ChannelTelemetry; // telemetry/dram_hooks.hh
+class PageJournal;       // telemetry/span_trace.hh
 
 /** Completion callback: invoked with the cycle the data finished. */
 using DramDoneFn = std::function<void(Cycle)>;
 
 /** Largest single DRAM transaction (see file comment). */
 constexpr std::uint32_t kMaxRequestBytes = 512;
+
+/** Sentinel: the request does not belong to a span-sampled page. */
+constexpr PageNum kNoSpanPage = ~0ull;
 
 struct DramRequest
 {
@@ -51,6 +55,8 @@ struct DramRequest
     bool isWrite = false;
     TrafficCat cat = TrafficCat::Demand;
     TenantId tenant = kNoTenant; ///< tenant charged for traffic/energy
+    /** Owning (sampled) page for span tracing; kNoSpanPage = untraced. */
+    PageNum spanPage = kNoSpanPage;
     DramDoneFn done;            ///< may be empty (posted writes)
 };
 
@@ -73,6 +79,15 @@ class DramChannel
     /** Attach (or detach with nullptr) telemetry distributions; null
      *  keeps the scheduler free of telemetry work. */
     void setTelemetry(ChannelTelemetry *telem) { telem_ = telem; }
+
+    /** Attach span tracing: requests tagged with a sampled page emit
+     *  queue/service slices on channel track @p track. Null = off. */
+    void
+    setSpanTrace(PageJournal *spans, std::uint32_t track)
+    {
+        spans_ = spans;
+        spanTrack_ = track;
+    }
 
     void resetStats() { busBusyCycles_ = 0; }
 
@@ -114,6 +129,8 @@ class DramChannel
     TrafficStats &traffic_;
     DramPowerModel &power_;
     ChannelTelemetry *telem_ = nullptr;
+    PageJournal *spans_ = nullptr;
+    std::uint32_t spanTrack_ = 0;
     std::string name_;
 
     std::vector<Bank> banks_;
@@ -172,7 +189,8 @@ class DramModel
      */
     void bulkAccess(std::uint32_t channel, Addr addr, std::uint64_t bytes,
                     bool isWrite, TrafficCat cat, DramDoneFn done,
-                    TenantId tenant = kNoTenant);
+                    TenantId tenant = kNoTenant,
+                    PageNum spanPage = kNoSpanPage);
 
     std::uint32_t numChannels() const { return channels_.size(); }
 

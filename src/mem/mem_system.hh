@@ -55,6 +55,10 @@ class MemSystem : public MemBackend
      *  scheme-side fetch path (demandFetch dispatch, not completion). */
     void setFetchTimer(PhaseTimer *timer) { fetchTimer_ = timer; }
 
+    /** Attach span tracing: demand fetches of sampled pages emit
+     *  end-to-end issue->complete spans. Null = off. */
+    void setSpanTrace(PageJournal *spans) { spans_ = spans; }
+
     /** Install the scheme instances (one per MC) from a factory. */
     void buildSchemes(const SchemeFactory &factory,
                       PageTableManager *pageTable, OsServices *os,
@@ -103,6 +107,7 @@ class MemSystem : public MemBackend
     MemSystemParams params_;
     const TenantMap *tenants_ = nullptr;
     PhaseTimer *fetchTimer_ = nullptr;
+    PageJournal *spans_ = nullptr;
     std::unique_ptr<DramModel> inPkg_;
     std::unique_ptr<DramModel> offPkg_;
     std::vector<std::unique_ptr<DramCacheScheme>> schemes_;

@@ -27,6 +27,7 @@
 #include "mem/request.hh"
 #include "os/os_services.hh"
 #include "os/page_table.hh"
+#include "telemetry/span_trace.hh"
 #include "tenant/tenant_map.hh"
 
 namespace banshee {
@@ -81,6 +82,10 @@ class DramCacheScheme
      * does: resizing rides on its lazy PTE/TLB remap machinery).
      */
     virtual ResizeHost *resizeHost() { return nullptr; }
+
+    /** Attach span tracing (null = off). Schemes tag the traffic of
+     *  sampled pages and emit lifecycle instants/spans. */
+    virtual void attachSpanTrace(PageJournal *journal) { spans_ = journal; }
 
     const std::string &name() const { return name_; }
 
@@ -147,10 +152,22 @@ class DramCacheScheme
         return page / ctx_.numMcs;
     }
 
+    /**
+     * The span tag for traffic belonging to @p page: the page itself
+     * when tracing is on and the page is sampled, else kNoSpanPage.
+     * @p page is in the scheme's own page granularity.
+     */
+    PageNum
+    spanPageOf(PageNum page) const
+    {
+        return (spans_ && spans_->sampledPage(page)) ? page : kNoSpanPage;
+    }
+
     /** 64 B read of @p line from off-package DRAM. */
     void
     offPkgRead64(LineAddr line, TrafficCat cat, DramDoneFn done,
-                 TenantId tenant = kNoTenant)
+                 TenantId tenant = kNoTenant,
+                 PageNum spanPage = kNoSpanPage)
     {
         DramRequest req;
         req.addr = lineToAddr(line);
@@ -158,13 +175,15 @@ class DramCacheScheme
         req.isWrite = false;
         req.cat = cat;
         req.tenant = tenant;
+        req.spanPage = spanPage;
         req.done = std::move(done);
         ctx_.offPkg->access(offPkgChannel(line), std::move(req));
     }
 
     /** Posted 64 B write of @p line to off-package DRAM. */
     void
-    offPkgWrite64(LineAddr line, TrafficCat cat, TenantId tenant = kNoTenant)
+    offPkgWrite64(LineAddr line, TrafficCat cat, TenantId tenant = kNoTenant,
+                  PageNum spanPage = kNoSpanPage)
     {
         DramRequest req;
         req.addr = lineToAddr(line);
@@ -172,6 +191,7 @@ class DramCacheScheme
         req.isWrite = true;
         req.cat = cat;
         req.tenant = tenant;
+        req.spanPage = spanPage;
         ctx_.offPkg->access(offPkgChannel(line), std::move(req));
     }
 
@@ -179,7 +199,8 @@ class DramCacheScheme
     void
     inPkgAccess(Addr deviceAddr, std::uint32_t bytes, std::uint32_t tagBytes,
                 bool isWrite, TrafficCat cat, DramDoneFn done,
-                TenantId tenant = kNoTenant)
+                TenantId tenant = kNoTenant,
+                PageNum spanPage = kNoSpanPage)
     {
         DramRequest req;
         req.addr = deviceAddr;
@@ -188,6 +209,7 @@ class DramCacheScheme
         req.isWrite = isWrite;
         req.cat = cat;
         req.tenant = tenant;
+        req.spanPage = spanPage;
         req.done = std::move(done);
         ctx_.inPkg->access(ctx_.mcId, std::move(req));
     }
@@ -196,20 +218,21 @@ class DramCacheScheme
     void
     inPkgBulk(Addr deviceAddr, std::uint64_t bytes, bool isWrite,
               TrafficCat cat, DramDoneFn done = nullptr,
-              TenantId tenant = kNoTenant)
+              TenantId tenant = kNoTenant, PageNum spanPage = kNoSpanPage)
     {
         ctx_.inPkg->bulkAccess(ctx_.mcId, deviceAddr, bytes, isWrite, cat,
-                               std::move(done), tenant);
+                               std::move(done), tenant, spanPage);
     }
 
     /** Bulk movement of a page's worth of off-package data. */
     void
     offPkgBulk(Addr byteAddr, std::uint64_t bytes, bool isWrite,
                TrafficCat cat, DramDoneFn done = nullptr,
-               TenantId tenant = kNoTenant)
+               TenantId tenant = kNoTenant, PageNum spanPage = kNoSpanPage)
     {
         ctx_.offPkg->bulkAccess(offPkgChannel(lineOf(byteAddr)), byteAddr,
-                                bytes, isWrite, cat, std::move(done), tenant);
+                                bytes, isWrite, cat, std::move(done), tenant,
+                                spanPage);
     }
 
     std::uint32_t
@@ -221,6 +244,7 @@ class DramCacheScheme
 
     SchemeContext ctx_;
     std::string name_;
+    PageJournal *spans_ = nullptr; ///< span tracing; null = off
     Rng rng_;
     StatSet stats_;
     Counter &statAccesses_;

@@ -1,6 +1,7 @@
 #include "resize/migration_engine.hh"
 
 #include "common/log.hh"
+#include "telemetry/span_trace.hh"
 
 namespace banshee {
 
@@ -55,7 +56,7 @@ MigrationEngine::armTick(Cycle delay)
     // superseded so a kick() can cut a stall's back-off short — the
     // re-arm drops the stale queue entry in place.
     const Cycle when = eq_.now() + delay;
-    if (batchLat_ && batchStart_ == kNoCycle)
+    if ((batchLat_ || spans_) && batchStart_ == kNoCycle)
         batchStart_ = eq_.now();
     if (tickEvent_.armed() && tickEvent_.when() <= when)
         return;
@@ -103,8 +104,15 @@ MigrationEngine::tick()
 
     // A full batch made it through (stall returns above keep the batch
     // open): arm-to-now includes any retry back-offs it suffered.
-    if (batchLat_ && batchStart_ != kNoCycle) {
-        batchLat_->record(eq_.now() - batchStart_);
+    if (batchStart_ != kNoCycle) {
+        if (batchLat_)
+            batchLat_->record(eq_.now() - batchStart_);
+        if (spans_) {
+            spans_->controlComplete(
+                spanTrack_, "drain_batch", batchStart_, eq_.now(),
+                {{"backlog",
+                  static_cast<std::uint64_t>(pending_.size())}});
+        }
         batchStart_ = kNoCycle;
     }
 

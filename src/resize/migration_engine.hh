@@ -28,6 +28,8 @@
 
 namespace banshee {
 
+class PageJournal; // telemetry/span_trace.hh
+
 class MigrationEngine
 {
   public:
@@ -62,6 +64,15 @@ class MigrationEngine
      *  buffer stalls show up as a stretched tail. */
     void setTelemetry(Histogram *batchLat) { batchLat_ = batchLat; }
 
+    /** Attach span tracing: each drain batch becomes a complete span
+     *  on control track @p track. Null = off. */
+    void
+    setSpanTrace(PageJournal *spans, std::uint32_t track)
+    {
+        spans_ = spans;
+        spanTrack_ = track;
+    }
+
     StatSet &stats() { return stats_; }
 
   private:
@@ -87,6 +98,8 @@ class MigrationEngine
     /** The engine's one drain-tick event; armTick() re-arms it. */
     TickEvent tickEvent_{[this] { tick(); }};
     Histogram *batchLat_ = nullptr;
+    PageJournal *spans_ = nullptr;
+    std::uint32_t spanTrack_ = 0;
     Cycle batchStart_ = kNoCycle; ///< arming cycle of the current batch
 
     StatSet stats_;

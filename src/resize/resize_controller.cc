@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "telemetry/span_trace.hh"
 #include "telemetry/telemetry.hh"
 
 namespace banshee {
@@ -59,6 +60,30 @@ ResizeController::attachTenants(TenantMap *tenants)
     if (tenants_ && config_.policy.kind == ResizePolicyConfig::Kind::Qos) {
         qos_ = std::make_unique<QosArbiterPolicy>(config_.policy,
                                                   tenants_->weights());
+    }
+}
+
+void
+ResizeController::attachSpanTrace(PageJournal *spans)
+{
+    spans_ = spans;
+    tenantSpanTracks_.clear();
+    if (!spans_)
+        return;
+    spanTrack_ = spans_->addControlTrack("resize");
+    // ResizeDomains have no public name; index-named tracks keep the
+    // drain batches of each memory controller apart.
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        domains_[i]->engine().setSpanTrace(
+            spans_,
+            spans_->addControlTrack("migration." + std::to_string(i)));
+    }
+    if (tenants_) {
+        for (std::uint32_t t = 0; t < tenants_->numTenants(); ++t) {
+            tenantSpanTracks_.push_back(spans_->addControlTrack(
+                "tenant." +
+                tenants_->config(static_cast<TenantId>(t)).name));
+        }
     }
 }
 
@@ -231,6 +256,13 @@ ResizeController::qosTick(const ResizeEpochStats &epoch)
 
     const QosDecision d =
         qos_->decide(ts, epoch, owned, activeSlices(), totalSlices());
+    if (spans_ && !d.empty()) {
+        spans_->controlInstant(
+            spanTrack_, "qos_decision", eq_.now(),
+            {{"reason", qosReasonName(d.reason)},
+             {"donor", static_cast<std::uint32_t>(d.donor)},
+             {"receiver", static_cast<std::uint32_t>(d.receiver)}});
+    }
     if (telem_ && !d.empty()) {
         if (d.targetActive.has_value()) {
             telem_->event("qos_resize",
@@ -268,6 +300,22 @@ ResizeController::transitionDone(Counter &completions,
                                {"pagesMigrated", pagesMigrated()},
                                {"tagBufferStalls", tagBufferStalls()}});
             }
+            if (spans_) {
+                spans_->controlEnd(
+                    spanTrack_, eq_.now(),
+                    {{"activeSlices", activeSlices()},
+                     {"pagesMigrated", pagesMigrated()},
+                     {"tagBufferStalls", tagBufferStalls()}});
+                // Quota marks on every tenant track: the commit is
+                // when a reassigned slice actually changes hands.
+                for (std::uint32_t t = 0; t < tenantSpanTracks_.size();
+                     ++t) {
+                    spans_->controlInstant(
+                        tenantSpanTracks_[t], "quota", eq_.now(),
+                        {{"slices",
+                          slicesOwnedBy(static_cast<TenantId>(t))}});
+                }
+            }
             holdEpochs_ = kSettleEpochs;
             // Reseed the running average: samples taken under the
             // old slice layout (and the drain's migration bursts)
@@ -303,6 +351,15 @@ ResizeController::requestResize(std::uint32_t targetSlices, TenantId donor,
                        {"strategy", resizeStrategyName(config_.strategy)},
                        {"donor", donor},
                        {"receiver", receiver}});
+    }
+    if (spans_) {
+        spans_->controlBegin(
+            spanTrack_, "resize", eq_.now(),
+            {{"from", activeSlices()},
+             {"to", targetSlices},
+             {"strategy", resizeStrategyName(config_.strategy)},
+             {"donor", static_cast<std::uint32_t>(donor)},
+             {"receiver", static_cast<std::uint32_t>(receiver)}});
     }
 
     // Growing? The incoming slices must power up (and refresh) before
@@ -341,6 +398,13 @@ ResizeController::requestReassign(TenantId donor, TenantId receiver)
     if (slice >= totalSlices())
         return false;
     inform("qos: slice %u moves tenant %u -> %u", slice, donor, receiver);
+    if (spans_) {
+        spans_->controlBegin(
+            spanTrack_, "reassign", eq_.now(),
+            {{"slice", slice},
+             {"donor", static_cast<std::uint32_t>(donor)},
+             {"receiver", static_cast<std::uint32_t>(receiver)}});
+    }
 
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
     for (auto &d : domains_)

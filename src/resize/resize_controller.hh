@@ -42,7 +42,8 @@
 
 namespace banshee {
 
-class Telemetry; // telemetry/telemetry.hh
+class Telemetry;    // telemetry/telemetry.hh
+class PageJournal;  // telemetry/span_trace.hh
 
 class ResizeController
 {
@@ -80,6 +81,15 @@ class ResizeController
     /** Attach (or detach with nullptr) the trace-event sink: resize
      *  targets, cap sheds, QoS decisions and commits are logged. */
     void attachTelemetry(Telemetry *telem) { telem_ = telem; }
+
+    /**
+     * Attach span tracing: transitions become begin/end spans on a
+     * "resize" control track, each domain's drain batches land on
+     * their own "migration.<i>" track, and per-tenant quota changes
+     * are marked on "tenant.<name>" tracks. Call after addHost and
+     * attachTenants. Null = off.
+     */
+    void attachSpanTrace(PageJournal *spans);
 
     /** Active slices owned by tenant @p t (0 when unpartitioned). */
     std::uint32_t
@@ -176,6 +186,9 @@ class ResizeController
     ResizePolicy policy_;
     DramPowerModel *power_ = nullptr;
     Telemetry *telem_ = nullptr;
+    PageJournal *spans_ = nullptr;
+    std::uint32_t spanTrack_ = 0;
+    std::vector<std::uint32_t> tenantSpanTracks_;
     TenantMap *tenants_ = nullptr;
     std::unique_ptr<QosArbiterPolicy> qos_;
     std::vector<std::unique_ptr<ResizeDomain>> domains_;

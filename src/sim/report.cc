@@ -41,29 +41,9 @@ fmt(double value, int decimals)
     return buf;
 }
 
-namespace {
+// jsonEscape comes from telemetry/trace_sink.hh (via system_config.hh).
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out.push_back('\\');
-            out.push_back(c);
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(
-                              static_cast<unsigned char>(c)));
-            out += buf;
-        } else {
-            out.push_back(c);
-        }
-    }
-    return out;
-}
+namespace {
 
 void
 writeCatBytes(std::FILE *f, const char *key,

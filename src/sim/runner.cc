@@ -67,6 +67,11 @@ runSweep(const std::vector<Experiment> &exps, const SweepOptions &opts)
                 if (config.telemetry.enabled &&
                     config.telemetry.runLabel.empty())
                     config.telemetry.runLabel = exps[i].label;
+                // Span traces never share a file: the label routes
+                // each experiment to its own trace (directory paths)
+                // or a "-<label>" suffixed file.
+                if (config.spans.enabled && config.spans.runLabel.empty())
+                    config.spans.runLabel = exps[i].label;
                 const auto start = clock::now();
                 System system(config);
                 results[i] = system.run();

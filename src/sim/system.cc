@@ -10,6 +10,7 @@
 #include "schemes/simple.hh"
 #include "schemes/tdc.hh"
 #include "schemes/unison.hh"
+#include "telemetry/span_trace.hh"
 #include "telemetry/telemetry.hh"
 #include "workload/workloads.hh"
 
@@ -239,6 +240,8 @@ System::System(const SystemConfig &config) : config_(config)
 
     if (config_.telemetry.enabled)
         buildTelemetry();
+    if (config_.spans.enabled)
+        buildSpanTrace();
 }
 
 void
@@ -323,6 +326,52 @@ System::buildTelemetry()
     attachChannels(mem_->offPkg(), "offpkg", false);
 
     mem_->setFetchTimer(telemetry_->timer("host.fetchLine"));
+}
+
+void
+System::buildSpanTrace()
+{
+    // The sampler hashes page frames at the scheme's page granularity
+    // so every hook — line-addressed fetches, page-addressed FBR and
+    // migration — agrees on which pages are journaled.
+    const std::uint32_t pageBits = config_.scheme == SchemeKind::Banshee
+                                       ? config_.banshee.pageBits
+                                       : kPageBits;
+    spans_ = std::make_unique<PageJournal>(config_.spans, pageBits,
+                                           config_.seed);
+    spans_->runInfo({{"workload", config_.workload},
+                     {"scheme", schemeKindName(config_.scheme)},
+                     {"label", config_.spans.runLabel},
+                     {"sampleShift", config_.spans.sampleShift},
+                     {"seed", config_.seed},
+                     {"pageBits", pageBits}});
+
+    mem_->setSpanTrace(spans_.get());
+    for (std::uint32_t mc = 0; mc < mem_->numMcs(); ++mc)
+        mem_->scheme(mc).attachSpanTrace(spans_.get());
+
+    auto attachChannels = [this](DramModel *dev, const char *prefix) {
+        if (!dev)
+            return;
+        for (std::uint32_t c = 0; c < dev->numChannels(); ++c) {
+            const std::uint32_t track = spans_->addChannelTrack(
+                std::string(prefix) + ".ch" + std::to_string(c));
+            dev->channel(c).setSpanTrace(spans_.get(), track);
+        }
+    };
+    attachChannels(mem_->inPkg(), "inpkg");
+    attachChannels(mem_->offPkg(), "offpkg");
+
+    if (resize_)
+        resize_->attachSpanTrace(spans_.get());
+
+    if (tenants_) {
+        for (std::uint32_t ti = 0; ti < tenants_->numTenants(); ++ti) {
+            const TenantId t = static_cast<TenantId>(ti);
+            spans_->tenantInfo(ti, tenants_->config(t).name,
+                               tenants_->weight(t));
+        }
+    }
 }
 
 System::~System() = default;
@@ -422,6 +471,8 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
 {
     if (telemetry_)
         telemetry_->finishEpochs();
+    if (spans_)
+        spans_->finish(eq_.now());
 
     RunResult r;
     r.workload = config_.workload;

@@ -31,6 +31,7 @@
 #include "schemes/batman.hh"
 #include "schemes/hma.hh"
 #include "schemes/unison.hh"
+#include "telemetry/span_trace.hh"
 #include "telemetry/telemetry_config.hh"
 #include "tenant/tenant.hh"
 
@@ -74,6 +75,9 @@ struct SystemConfig
 
     /** Epoch-resolved telemetry (off by default: zero hot-path work). */
     TelemetryConfig telemetry;
+
+    /** Sampled page-lifecycle span tracing (off by default). */
+    SpanTraceConfig spans;
 
     /**
      * Multi-tenant mode: when non-empty, cores are split between the
@@ -160,6 +164,17 @@ struct SystemConfig
      * (the ResizeController's 20 us epoch).
      */
     SystemConfig &withTelemetry(std::string path, Cycle epochCycles = 0);
+
+    /**
+     * Enable causal page/request span tracing: 1/2^sampleShift of
+     * page frames (deterministic seeded hash) record their full
+     * lifecycle — access outcomes, FBR decisions, residency,
+     * channel queueing vs service, migration, quota changes — as
+     * Chrome trace-event JSON loadable in Perfetto. @p path may be a
+     * directory (one trace per run label). See telemetry/span_trace.hh.
+     */
+    SystemConfig &withSpanTrace(std::string path,
+                                std::uint32_t sampleShift = 6);
 };
 
 } // namespace banshee

@@ -9,7 +9,8 @@ namespace banshee {
 Telemetry::Telemetry(EventQueue &eq, const TelemetryConfig &config)
     : eq_(eq), config_(config),
       runLabel_(config.runLabel.empty() ? "run" : config.runLabel),
-      sink_(TraceSink::shared(config.path))
+      sink_(TraceSink::shared(resolveTracePath(config.path, config.runLabel,
+                                               ".jsonl", /*perRun=*/false)))
 {
     sim_assert(config.enabled, "Telemetry built while disabled");
     sim_assert(!config.path.empty(), "telemetry needs an output path");

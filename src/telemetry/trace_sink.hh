@@ -49,6 +49,25 @@ class TraceField
     std::string json_; ///< `"key": value`
 };
 
+/** Replace every character outside [A-Za-z0-9._-] with '_' so an
+ *  experiment label is safe to use as a file name. */
+std::string sanitizeRunLabel(const std::string &label);
+
+/**
+ * Resolve a trace output path against a run label.
+ *
+ * - empty @p path -> empty (tracing disabled);
+ * - a directory (trailing '/' or an existing directory) is created if
+ *   missing and yields `dir/<sanitized-label>.<ext>` ("run" when the
+ *   label is empty) — one file per experiment;
+ * - otherwise the path is a plain file. When @p perRun is set and the
+ *   label is non-empty, "-<sanitized-label>" is spliced in before the
+ *   file extension so sweep experiments never share a writer.
+ */
+std::string resolveTracePath(const std::string &path,
+                             const std::string &label,
+                             const std::string &ext, bool perRun);
+
 class TraceSink
 {
   public:
@@ -80,6 +99,38 @@ class TraceSink
     std::string path_;
     std::FILE *file_;
     std::mutex mutex_;
+};
+
+/**
+ * Writer for Chrome trace-event JSON: a single top-level array of
+ * event objects, one per line, comma-separated, closed on
+ * destruction so the file loads in Perfetto / chrome://tracing.
+ *
+ * Unlike TraceSink this is NOT shared or locked: each PageJournal
+ * owns its file exclusively (per-run path routing), and a sweep's
+ * Systems never share one (see sim/runner.hh isolation contract).
+ */
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(const std::string &path);
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Append one pre-serialized event object (`{...}`, no comma). */
+    void event(const std::string &json);
+
+    /** Write the closing `]` now (idempotent; destructor fallback). */
+    void close();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    bool first_ = true;
 };
 
 } // namespace banshee
