@@ -57,25 +57,45 @@ struct BenchOptions
  *
  * @p benchName names the binary in usage/error messages (argv[0] when
  * empty) and the default --spans output directory.
+ *
+ * @p extraFlags lets a bench register additional boolean switches
+ * (e.g. ext_tenant's --sched): each pair maps a flag spelling to the
+ * bool it sets. Extra flags appear in the usage line.
  */
 inline BenchOptions
-parseArgs(int argc, char **argv, const std::string &benchName = "")
+parseArgs(int argc, char **argv, const std::string &benchName = "",
+          std::initializer_list<std::pair<const char *, bool *>>
+              extraFlags = {})
 {
     BenchOptions opt;
     const std::string prog = benchName.empty() ? argv[0] : benchName;
-    auto usage = [&prog](const std::string &why) {
+    auto usage = [&prog, &extraFlags](const std::string &why) {
         std::fprintf(stderr, "%s: %s\n", prog.c_str(), why.c_str());
+        std::string extra;
+        for (const auto &fl : extraFlags)
+            extra += std::string(" [") + fl.first + "]";
         std::fprintf(stderr,
                      "usage: %s [--quick] [--full] "
                      "[--workloads a,b,c] [--threads N] [--json path] "
                      "[--host-perf] [--telemetry path] [--spans[=N]] "
-                     "[--verbose|-v]\n",
-                     prog.c_str());
+                     "[--verbose|-v]%s\n",
+                     prog.c_str(), extra.c_str());
         std::exit(1);
+    };
+    auto matchExtra = [&extraFlags](const std::string &arg) {
+        for (const auto &fl : extraFlags) {
+            if (arg == fl.first) {
+                *fl.second = true;
+                return true;
+            }
+        }
+        return false;
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--quick") {
+        if (matchExtra(arg)) {
+            // handled
+        } else if (arg == "--quick") {
             opt.base.warmupInstrPerCore /= 4;
             opt.base.measureInstrPerCore /= 4;
         } else if (arg == "--full") {

@@ -9,6 +9,10 @@ percentiles, and prints one timeline table per run:
 
     epoch  cycle  missRate  W  activeSlices  <tenant>.slices  <tenant>.p95qlat ...
 
+Percentile cells ending in "!" are saturated: the sample landed in
+the histogram's open-ended top bucket, so the printed value is a
+lower bound (mirrors the "saturated" flag in the bench JSON).
+
 Usage:
     telemetry_summary.py trace.jsonl              # timelines + events
     telemetry_summary.py trace.jsonl --run solo   # one run only
@@ -33,7 +37,10 @@ def bucket_high(i):
 
 def delta_percentile(prev, cur, q):
     """Percentile of the values recorded *between* two cumulative
-    histogram snapshots (epoch-local distribution)."""
+    histogram snapshots (epoch-local distribution), rendered as a
+    string. A trailing "!" marks a saturated read: the percentile
+    landed in the histogram's top (open-ended) bucket, so the true
+    value is only bounded below."""
     prev_b = (prev or {}).get("buckets", [])
     cur_b = cur.get("buckets", [])
     deltas = []
@@ -48,8 +55,10 @@ def delta_percentile(prev, cur, q):
     for i, d in enumerate(deltas):
         seen += d
         if seen >= target:
-            return min(bucket_high(i), cur.get("max", bucket_high(i)))
-    return bucket_high(len(deltas) - 1)
+            val = min(bucket_high(i), cur.get("max", bucket_high(i)))
+            mark = "!" if i == len(cur_b) - 1 else ""
+            return f"{val}{mark}"
+    return f"{bucket_high(len(deltas) - 1)}!"
 
 
 def load(path):
@@ -149,7 +158,7 @@ def timeline(run, recs, csv):
             p95 = delta_percentile(
                 prev["hists"].get(f"tenant.{t}.queueLat"),
                 cur["hists"].get(f"tenant.{t}.queueLat", {}), 0.95)
-            row.append("" if p95 is None else str(p95))
+            row.append("" if p95 is None else p95)
         rows.append(row)
 
     if csv:

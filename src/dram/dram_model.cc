@@ -88,6 +88,9 @@ DramChannel::bankReadyCycle(const Pending &p) const
 bool
 DramChannel::selectNext(Pending &out)
 {
+    if (qos_.enabled)
+        return selectNextQos(out);
+
     // Write-drain hysteresis: start draining when the write queue is
     // high or there is nothing else to do; stop at the low watermark.
     // Note this puts no bound on an individual write's wait: a
@@ -122,6 +125,154 @@ DramChannel::selectNext(Pending &out)
     }
     out = std::move(q[best]);
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(best));
+    return true;
+}
+
+void
+DramChannel::setQosConfig(const DramQosConfig &config)
+{
+    qos_ = config;
+    if (qos_.epochCycles == 0)
+        qos_.epochCycles = 1;
+    qosBytesPerEpoch_ = config.bytesPerEpoch;
+    if (qosBytesPerEpoch_ == 0) {
+        // Full channel bandwidth over one epoch: busBytesPerCycle
+        // every DRAM cycle for epochCycles core cycles.
+        qosBytesPerEpoch_ = (qos_.epochCycles / timing_.toCore(1)) *
+                            timing_.busBytesPerCycle;
+    }
+    qosEpochStart_ = eq_.now();
+}
+
+void
+DramChannel::setQosShares(const std::array<double, kMaxTenants> &shares)
+{
+    qosShare_ = shares;
+    qosSharesSet_ = true;
+    // Reset credits to the new entitlements immediately so a share
+    // change (resize commit, arbiter rebalance) binds deterministically
+    // rather than waiting out the current epoch.
+    for (std::size_t t = 0; t < kMaxTenants; ++t) {
+        qosCredit_[t] = static_cast<std::int64_t>(
+            qosShare_[t] * static_cast<double>(qosBytesPerEpoch_));
+    }
+}
+
+void
+DramChannel::qosRefill(Cycle now)
+{
+    if (now < qosEpochStart_ + qos_.epochCycles)
+        return;
+    // Advance by whole epochs. Credits reset rather than carry: an
+    // idle tenant's unused entitlement was already spent by others
+    // through work conservation, not banked.
+    const Cycle elapsed = now - qosEpochStart_;
+    qosEpochStart_ += (elapsed / qos_.epochCycles) * qos_.epochCycles;
+    for (std::size_t t = 0; t < kMaxTenants; ++t) {
+        qosCredit_[t] = static_cast<std::int64_t>(
+            qosShare_[t] * static_cast<double>(qosBytesPerEpoch_));
+    }
+}
+
+void
+DramChannel::qosCharge(const Pending &p)
+{
+    traffic_.addQosGrant(p.req.tenant);
+    if (qosSharesSet_ && p.req.tenant < kMaxTenants)
+        qosCredit_[p.req.tenant] -= p.req.bytes; // may go negative
+}
+
+bool
+DramChannel::selectNextQos(Pending &out)
+{
+    const Cycle now = eq_.now();
+    qosRefill(now);
+
+    // Stock write-drain hysteresis, plus the bounded write age: a
+    // write parked past its cap forces (and holds) a drain regardless
+    // of watermarks, so posted writes cannot wait on another tenant's
+    // read stream forever.
+    const bool writeOverAge =
+        qos_.writeAgeCap > 0 && !writeQ_.empty() &&
+        now - writeQ_.front().arrival > qos_.writeAgeCap;
+    const bool readOverAge =
+        qos_.readAgeCap > 0 && !readQ_.empty() &&
+        now - readQ_.front().arrival > qos_.readAgeCap;
+    const std::size_t drainHigh =
+        qos_.writeDrainHigh > 0 ? qos_.writeDrainHigh : kWriteDrainHigh;
+    const std::size_t drainLow =
+        qos_.writeDrainLow > 0 ? qos_.writeDrainLow : kWriteDrainLow;
+    if (!drainingWrites_) {
+        if (writeQ_.size() >= drainHigh ||
+            (readQ_.empty() && !writeQ_.empty()) || writeOverAge) {
+            drainingWrites_ = true;
+        }
+    } else if (writeQ_.size() <= drainLow && !readQ_.empty() &&
+               !writeOverAge) {
+        drainingWrites_ = false;
+    }
+
+    // An over-age read steals single slots out of a write drain (the
+    // drain state itself is untouched, so writes keep progressing
+    // between stolen slots): a migration burst filling the write
+    // queue otherwise blocks another tenant's reads for the whole
+    // high-to-low-watermark drain. An over-age write wins the tie —
+    // both sides stay bounded.
+    const bool readPreempts =
+        drainingWrites_ && readOverAge && !writeOverAge;
+    std::deque<Pending> &q =
+        (drainingWrites_ && !writeQ_.empty() && !readPreempts)
+            ? writeQ_
+            : readQ_;
+    if (q.empty())
+        return false;
+
+    // Age-bounded FR-FCFS: the oldest request (queue front — FIFO
+    // push order) beats any row hit once its wait exceeds the cap.
+    const Cycle ageCap = &q == &writeQ_ ? qos_.writeAgeCap
+                                        : qos_.readAgeCap;
+    if (ageCap > 0 && now - q.front().arrival > ageCap) {
+        out = std::move(q.front());
+        q.pop_front();
+        out.qosMark = kQosAged;
+        qosCharge(out);
+        return true;
+    }
+
+    // Credit-aware FR-FCFS over a wider window: track the overall
+    // bandwidth-optimal pick and the best credit-eligible pick, and
+    // prefer the eligible one. Work conserving: with no eligible
+    // contender the overall best issues anyway.
+    const std::size_t window = std::min<std::size_t>(
+        q.size(), std::max<std::uint32_t>(qos_.window, 1));
+    std::size_t best = 0;
+    Cycle bestReady = bankReadyCycle(q[0]);
+    std::size_t bestElig = qosEligible(q[0]) ? 0 : window; // window = none
+    Cycle bestEligReady = bestReady;
+    for (std::size_t i = 1; i < window; ++i) {
+        const Cycle r = bankReadyCycle(q[i]);
+        if (r < bestReady) {
+            bestReady = r;
+            best = i;
+        }
+        if (qosEligible(q[i]) && (bestElig == window || r < bestEligReady)) {
+            bestEligReady = r;
+            bestElig = i;
+        }
+    }
+    const std::size_t pick = bestElig != window ? bestElig : best;
+    if (pick != best) {
+        // Credit arbitration bypassed the bandwidth-optimal request:
+        // its tenant exhausted this epoch's entitlement.
+        Pending &bypassed = q[best];
+        bypassed.qosMark = kQosDeferred;
+        traffic_.addQosDefer(bypassed.req.tenant);
+        if (telem_)
+            telem_->qosDeferAge.record(now - bypassed.arrival);
+    }
+    out = std::move(q[pick]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
+    qosCharge(out);
     return true;
 }
 
@@ -185,9 +336,12 @@ DramChannel::issue(Pending p)
         // Queue slice (arrival -> bus grant) + service slice (grant ->
         // completion): all three times are known at issue, and the
         // journal only observes, so tracing cannot perturb timing.
+        const char *qosTag = p.qosMark == kQosAged       ? "aged"
+                             : p.qosMark == kQosDeferred ? "deferred"
+                                                         : nullptr;
         spans_->channelRequest(spanTrack_, p.req.spanPage, p.arrival,
                                busStart, complete, p.req.isWrite,
-                               p.req.cat, p.req.tenant);
+                               p.req.cat, p.req.tenant, qosTag);
     }
 
     if (p.req.done) {

@@ -25,10 +25,13 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
+#include "dram/qos_sched.hh"
 #include "dram/traffic.hh"
 #include "power/power_model.hh"
 #include "power/power_params.hh"
@@ -89,6 +92,15 @@ class DramChannel
         spanTrack_ = track;
     }
 
+    /** Enable the QoS scheduler (see dram/qos_sched.hh). Until called
+     *  with an enabled config, the stock FR-FCFS path runs untouched. */
+    void setQosConfig(const DramQosConfig &config);
+
+    /** Per-tenant entitlement shares (fractions summing to <= 1),
+     *  indexed by TenantId. Until set, credits never bind (every
+     *  tenant is exempt, as is untagged traffic throughout). */
+    void setQosShares(const std::array<double, kMaxTenants> &shares);
+
     void resetStats() { busBusyCycles_ = 0; }
 
   private:
@@ -97,7 +109,13 @@ class DramChannel
         DramRequest req;
         Cycle arrival;
         std::uint64_t seq;
+        /** QoS annotation for span tracing: how scheduling treated
+         *  this request (0 none, kQosAged, kQosDeferred). */
+        std::uint8_t qosMark = 0;
     };
+
+    static constexpr std::uint8_t kQosAged = 1;
+    static constexpr std::uint8_t kQosDeferred = 2;
 
     struct Bank
     {
@@ -124,6 +142,26 @@ class DramChannel
     /** Pick the best eligible request; returns false if none. */
     bool selectNext(Pending &out);
 
+    /** The QoS-gated pick: credit arbitration + age bounds. */
+    bool selectNextQos(Pending &out);
+
+    /** Lazy credit replenish on the epoch clock (no extra events, so
+     *  enabling the scheduler never perturbs event ordering). */
+    void qosRefill(Cycle now);
+
+    /** Charge an issued request to its tenant's credit + counters. */
+    void qosCharge(const Pending &p);
+
+    /** Is @p p issuable under credit arbitration right now?
+     *  Untagged traffic (and any out-of-range id) is always exempt:
+     *  it has no entitlement to charge. */
+    bool
+    qosEligible(const Pending &p) const
+    {
+        return !qosSharesSet_ || p.req.tenant >= kMaxTenants ||
+               qosCredit_[p.req.tenant] > 0;
+    }
+
     EventQueue &eq_;
     const DramTiming &timing_;
     TrafficStats &traffic_;
@@ -144,6 +182,14 @@ class DramChannel
     TickEvent kickEvent_;
     bool drainingWrites_ = false;
     std::uint64_t seq_ = 0;
+
+    /** QoS scheduler state (inert until qos_.enabled). */
+    DramQosConfig qos_;
+    std::uint64_t qosBytesPerEpoch_ = 0; ///< resolved (0 -> bus width)
+    Cycle qosEpochStart_ = 0;
+    std::array<double, kMaxTenants> qosShare_{};
+    std::array<std::int64_t, kMaxTenants> qosCredit_{};
+    bool qosSharesSet_ = false;
 
     /** Write-queue drain hysteresis. */
     static constexpr std::size_t kWriteDrainHigh = 48;
@@ -197,6 +243,25 @@ class DramModel
     /** Direct channel access (telemetry attach, tests). */
     DramChannel &channel(std::uint32_t i) { return *channels_[i]; }
 
+    /** Apply a QoS scheduler config to every channel. */
+    void
+    setQosConfig(const DramQosConfig &config)
+    {
+        qosConfig_ = config;
+        for (auto &ch : channels_)
+            ch->setQosConfig(config);
+    }
+
+    /** Push per-tenant entitlement shares to every channel. */
+    void
+    setQosShares(const std::array<double, kMaxTenants> &shares)
+    {
+        for (auto &ch : channels_)
+            ch->setQosShares(shares);
+    }
+
+    const DramQosConfig &qosConfig() const { return qosConfig_; }
+
     const DramTiming &timing() const { return timing_; }
 
     const TrafficStats &traffic() const { return traffic_; }
@@ -228,6 +293,7 @@ class DramModel
     EventQueue &eq_;
     DramTiming timing_;
     std::string name_;
+    DramQosConfig qosConfig_;
     TrafficStats traffic_;
     StatSet stats_;
     DramPowerModel power_;

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * QoS-aware channel scheduling knobs (SystemConfig::mem.qos).
+ *
+ * Slice quotas guarantee *residency*; they cannot govern *bandwidth*:
+ * FR-FCFS favors whichever tenant happens to be streaming row hits,
+ * and the write-drain hysteresis puts no bound on an individual
+ * write's wait, so one tenant's posted writes park indefinitely
+ * behind another's read stream (the PR-4 finding the tenant bench
+ * quantifies). When enabled, each DramChannel layers three gated
+ * mechanisms over the stock scheduler:
+ *
+ *  - per-tenant bandwidth credits: every epoch each tenant's credit
+ *    resets to its entitlement share of the channel's epoch bytes;
+ *    issued requests charge their tenant, and while any
+ *    credit-positive tenant has an issuable request it wins over
+ *    tenants that exhausted theirs. Arbitration is work-conserving:
+ *    with no credit-positive contender the bandwidth-optimal request
+ *    issues anyway (idle bus cycles are never spent "enforcing" a
+ *    budget nobody else wants).
+ *  - an age-bounded FR-FCFS pick: the oldest queued request beats any
+ *    row hit once its wait exceeds the cap, bounding the starvation
+ *    row-hit favoritism can inflict on a low-locality tenant;
+ *  - a bounded write-drain age: a write parked past its cap forces a
+ *    drain even while reads keep arriving, so posted writes (which
+ *    pin core MSHR slots) cannot wait on another tenant's read
+ *    stream forever.
+ *
+ * Everything is off by default and every member below is ignored
+ * until @c enabled is set: the stock scheduler path is untouched and
+ * seed-default runs are byte-identical (guarded by the ext_tenant
+ * md5 check — a PR-4 write-age-bound prototype was reverted for
+ * perturbing exactly that).
+ */
+
+#ifndef BANSHEE_DRAM_QOS_SCHED_HH
+#define BANSHEE_DRAM_QOS_SCHED_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace banshee {
+
+struct DramQosConfig
+{
+    bool enabled = false;
+
+    /** Credit replenish period, in core cycles. */
+    Cycle epochCycles = 8192;
+
+    /**
+     * Channel data bytes granted per epoch, split over the tenant
+     * entitlement shares. 0 derives the channel's full epoch
+     * bandwidth from its bus width (busBytesPerCycle per DRAM cycle),
+     * i.e. credits only bind when tenants contend.
+     */
+    std::uint64_t bytesPerEpoch = 0;
+
+    /** A read older than this (core cycles) beats any row hit;
+     *  0 disables the read age bound. */
+    Cycle readAgeCap = 4096;
+
+    /** A write waiting longer than this (core cycles) forces a write
+     *  drain; it also serves as the write-queue age bound while
+     *  draining. 0 disables the bound. */
+    Cycle writeAgeCap = 16384;
+
+    /** Queue positions the credit-aware FR-FCFS pick scans. Wider
+     *  than the stock window (16) so a credit-positive tenant's
+     *  request is findable behind a flooding tenant's burst. */
+    std::uint32_t window = 64;
+
+    /**
+     * Write-drain watermark overrides (0 keeps the stock 48/16).
+     * Shorter drain batches trade write-side row locality for read
+     * tail latency: every read that lands mid-drain waits out the
+     * rest of the batch, so the high-to-low gap is the largest
+     * drain-induced read stall the channel can inflict.
+     */
+    std::uint32_t writeDrainHigh = 0;
+    std::uint32_t writeDrainLow = 0;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_DRAM_QOS_SCHED_HH

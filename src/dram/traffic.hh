@@ -86,16 +86,40 @@ class TrafficStats
         return t;
     }
 
+    // QoS scheduler accounting (zero while the scheduler is off): a
+    // grant is one issued request charged to the tenant's credit, a
+    // defer is one scheduling round where credit arbitration bypassed
+    // the tenant's bandwidth-optimal request for a credit-positive
+    // contender's.
+    void addQosGrant(TenantId t) { ++qosGrants_[tenantBucket(t)]; }
+    void addQosDefer(TenantId t) { ++qosDefers_[tenantBucket(t)]; }
+
+    std::uint64_t
+    qosGrants(TenantId t) const
+    {
+        return qosGrants_[tenantBucket(t)];
+    }
+
+    std::uint64_t
+    qosDefers(TenantId t) const
+    {
+        return qosDefers_[tenantBucket(t)];
+    }
+
     void
     reset()
     {
         bytes_.fill(0);
         tenantBytes_.fill(0);
+        qosGrants_.fill(0);
+        qosDefers_.fill(0);
     }
 
   private:
     std::array<std::uint64_t, kNumTrafficCats> bytes_{};
     std::array<std::uint64_t, kTenantBuckets> tenantBytes_{};
+    std::array<std::uint64_t, kTenantBuckets> qosGrants_{};
+    std::array<std::uint64_t, kTenantBuckets> qosDefers_{};
 };
 
 } // namespace banshee

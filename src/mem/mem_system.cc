@@ -15,6 +15,8 @@ MemSystem::MemSystem(EventQueue &eq, const MemSystemParams &params)
         inPkg_ = std::make_unique<DramModel>(eq_, params_.inPkgTiming,
                                              params_.numMcs, "inPkg",
                                              params_.inPkgPower);
+        if (params_.qos.enabled)
+            inPkg_->setQosConfig(params_.qos);
     }
     if (params_.hasOffPkg) {
         offPkg_ = std::make_unique<DramModel>(

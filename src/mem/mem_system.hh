@@ -40,6 +40,9 @@ struct MemSystemParams
     DramPowerParams offPkgPower = DramPowerParams::offPackage();
     bool hasInPkg = true;   ///< false for NoCache
     bool hasOffPkg = true;  ///< false for CacheOnly
+    /** QoS channel scheduling on the in-package device (the contended
+     *  tier). Off by default: the stock FR-FCFS path is untouched. */
+    DramQosConfig qos;
 };
 
 class MemSystem : public MemBackend

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "dram/dram_model.hh"
 #include "telemetry/span_trace.hh"
 #include "telemetry/telemetry.hh"
 
@@ -99,6 +100,45 @@ ResizeController::setTenantWeights(const std::vector<double> &weights)
     for (std::uint32_t t = 0; t < tenants_->numTenants(); ++t)
         tenants_->setWeight(static_cast<TenantId>(t), weights[t]);
     qos_->setWeights(weights);
+}
+
+void
+ResizeController::attachQosDevice(DramModel *dev)
+{
+    qosDev_ = dev;
+    pushQosShares();
+}
+
+void
+ResizeController::pushQosShares()
+{
+    if (!qosDev_ || !tenants_)
+        return;
+    std::array<double, kMaxTenants> shares{};
+    const std::uint32_t n = std::min<std::uint32_t>(
+        tenants_->numTenants(), kMaxTenants);
+    // Bandwidth entitlement follows the live slice partition when one
+    // exists (so every reassign/resize commit rebalances channel
+    // credit alongside residency), else the configured quota weights.
+    std::uint32_t ownedTotal = 0;
+    for (std::uint32_t t = 0; t < n; ++t)
+        ownedTotal += slicesOwnedBy(static_cast<TenantId>(t));
+    if (ownedTotal > 0) {
+        for (std::uint32_t t = 0; t < n; ++t) {
+            shares[t] =
+                static_cast<double>(slicesOwnedBy(static_cast<TenantId>(t))) /
+                static_cast<double>(ownedTotal);
+        }
+    } else {
+        double wsum = 0.0;
+        for (std::uint32_t t = 0; t < n; ++t)
+            wsum += tenants_->weight(static_cast<TenantId>(t));
+        if (wsum <= 0.0)
+            return;
+        for (std::uint32_t t = 0; t < n; ++t)
+            shares[t] = tenants_->weight(static_cast<TenantId>(t)) / wsum;
+    }
+    qosDev_->setQosShares(shares);
 }
 
 void
@@ -288,12 +328,23 @@ ResizeController::qosTick(const ResizeEpochStats &epoch)
 
 std::function<void()>
 ResizeController::transitionDone(Counter &completions,
-                                 const char *traceEvent)
+                                 const char *traceEvent,
+                                 bool capacityLoss)
 {
-    return [this, &completions, traceEvent] {
+    return [this, &completions, traceEvent, capacityLoss] {
         sim_assert(pendingDomains_ > 0, "stray drain completion");
         if (--pendingDomains_ == 0) {
             ++completions;
+            if (capacityLoss) {
+                // The drained slices' pages are gone, but their FBR
+                // counters would still outrank every newcomer: let
+                // the host decay them so the survivors re-earn their
+                // residency against re-admission candidates.
+                for (auto &d : domains_)
+                    d->host().onCapacityLoss();
+            }
+            // Entitlements may have moved with the slices.
+            pushQosShares();
             if (telem_) {
                 telem_->event(traceEvent,
                               {{"activeSlices", activeSlices()},
@@ -370,11 +421,13 @@ ResizeController::requestResize(std::uint32_t targetSlices, TenantId donor,
                                       eq_.now());
     }
 
+    const bool capacityLoss = targetSlices < activeSlices();
     pendingDomains_ = static_cast<std::uint32_t>(domains_.size());
     for (auto &d : domains_)
         d->resizeTo(targetSlices,
-                    transitionDone(statCompleted_, "resize_commit"), donor,
-                    receiver);
+                    transitionDone(statCompleted_, "resize_commit",
+                                   capacityLoss),
+                    donor, receiver);
     return true;
 }
 

@@ -44,6 +44,7 @@ namespace banshee {
 
 class Telemetry;    // telemetry/telemetry.hh
 class PageJournal;  // telemetry/span_trace.hh
+class DramModel;    // dram/dram_model.hh
 
 class ResizeController
 {
@@ -77,6 +78,15 @@ class ResizeController
     /** Runtime quota change: the QoS arbiter rebalances toward the
      *  new weights over the following epochs. */
     void setTenantWeights(const std::vector<double> &weights);
+
+    /**
+     * Attach the device whose channels run the QoS credit scheduler
+     * (the in-package device — the contended tier). Entitlement shares
+     * are pushed now and re-pushed at every transition commit, so
+     * channel bandwidth credit tracks the live slice partition the
+     * same way residency quota does. Null detaches.
+     */
+    void attachQosDevice(DramModel *dev);
 
     /** Attach (or detach with nullptr) the trace-event sink: resize
      *  targets, cap sheds, QoS decisions and commits are logged. */
@@ -168,9 +178,16 @@ class ResizeController
     void qosTick(const ResizeEpochStats &epoch);
 
     /** Completion callback shared by resizes and reassignments;
-     *  @p traceEvent names the commit event in the telemetry trace. */
+     *  @p traceEvent names the commit event in the telemetry trace.
+     *  @p capacityLoss marks a shrink: hosts are told so they can
+     *  unfreeze replacement state (FBR decay). */
     std::function<void()> transitionDone(Counter &completions,
-                                         const char *traceEvent);
+                                         const char *traceEvent,
+                                         bool capacityLoss = false);
+
+    /** Recompute tenant entitlement shares and push them to the QoS
+     *  device (no-op without one). */
+    void pushQosShares();
 
     /** Fraction of the device to gate for @p active of total slices. */
     double
@@ -190,6 +207,7 @@ class ResizeController
     std::uint32_t spanTrack_ = 0;
     std::vector<std::uint32_t> tenantSpanTracks_;
     TenantMap *tenants_ = nullptr;
+    DramModel *qosDev_ = nullptr;
     std::unique_ptr<QosArbiterPolicy> qos_;
     std::vector<std::unique_ptr<ResizeDomain>> domains_;
 

@@ -91,6 +91,15 @@ class ResizeHost
         return kNoTenant;
     }
 
+    /**
+     * A shrink transition just committed: the drained slices' pages
+     * are gone for good. Hosts with frequency-based replacement decay
+     * their counters here — otherwise the stale resident set's
+     * accumulated counts keep every re-admission candidate below the
+     * anti-churn threshold and recovery crawls. Default: nothing.
+     */
+    virtual void onCapacityLoss() {}
+
     /** Test hook: assert directory / page-table / slice consistency. */
     virtual void verifyResidencyConsistent() = 0;
 };

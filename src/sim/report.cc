@@ -168,7 +168,7 @@ writeResultsJson(const std::string &path, const std::string &bench,
                 "\"accesses\": %llu, \"misses\": %llu, "
                 "\"inPkgBytes\": %llu, \"offPkgBytes\": %llu, "
                 "\"inPkgDynPJ\": %.1f, \"offPkgDynPJ\": %.1f, "
-                "\"slicesOwned\": %u}",
+                "\"slicesOwned\": %u",
                 t == 0 ? "" : ",", jsonEscape(ts.name).c_str(), ts.weight,
                 ts.cores, static_cast<unsigned long long>(ts.instructions),
                 ts.ipc, ts.missRate,
@@ -177,6 +177,16 @@ writeResultsJson(const std::string &path, const std::string &bench,
                 static_cast<unsigned long long>(ts.inPkgBytes),
                 static_cast<unsigned long long>(ts.offPkgBytes),
                 ts.inPkgDynPJ, ts.offPkgDynPJ, ts.slicesOwned);
+            // QoS scheduler counters appear only when it ran, so
+            // scheduler-off output stays byte-identical to older
+            // builds (the md5-guarded contract).
+            if (r.qosSchedEnabled) {
+                std::fprintf(
+                    f, ", \"qosGrants\": %llu, \"qosDefers\": %llu",
+                    static_cast<unsigned long long>(ts.qosGrants),
+                    static_cast<unsigned long long>(ts.qosDefers));
+            }
+            std::fprintf(f, "}");
         }
         // The histograms key appears only when telemetry filled it, so
         // telemetry-off output stays byte-identical to older builds.
@@ -186,17 +196,21 @@ writeResultsJson(const std::string &path, const std::string &bench,
             std::fprintf(f, "      \"histograms\": [");
             for (std::size_t h = 0; h < r.histograms.size(); ++h) {
                 const HistogramSummary &hs = r.histograms[h];
+                // "saturated" marks top-bucket samples: tail
+                // percentiles are then clamp values (the observed
+                // max), i.e. lower bounds rather than estimates.
                 std::fprintf(
                     f,
                     "%s\n        {\"name\": \"%s\", \"count\": %llu, "
                     "\"mean\": %.2f, \"p50\": %llu, \"p95\": %llu, "
-                    "\"p99\": %llu, \"max\": %llu}",
+                    "\"p99\": %llu, \"max\": %llu, \"saturated\": %s}",
                     h == 0 ? "" : ",", jsonEscape(hs.name).c_str(),
                     static_cast<unsigned long long>(hs.count), hs.mean,
                     static_cast<unsigned long long>(hs.p50),
                     static_cast<unsigned long long>(hs.p95),
                     static_cast<unsigned long long>(hs.p99),
-                    static_cast<unsigned long long>(hs.max));
+                    static_cast<unsigned long long>(hs.max),
+                    hs.saturated ? "true" : "false");
             }
             std::fprintf(f, "\n      ]\n");
         }

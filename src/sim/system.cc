@@ -79,6 +79,41 @@ RunResult::inPkgBgRefreshPJ() const
 
 System::System(const SystemConfig &config) : config_(config)
 {
+    // Fail fast on configurations that would otherwise trip deep
+    // internal asserts (or silently misplace pages). Large pages: the
+    // scheme addresses whole pages within one controller, so the
+    // MC striping granularity must be at least the page size.
+    if (config.scheme == SchemeKind::Banshee && config.mem.numMcs > 1 &&
+        config.mem.mcStripeBits < config.banshee.pageBits) {
+        fatal("banshee.pageBits (%u) exceeds mem.mcStripeBits (%u): a "
+              "cache page would stripe across %u memory controllers — "
+              "raise mcStripeBits to pageBits (large pages need "
+              "controller-aligned placement)",
+              config.banshee.pageBits, config.mem.mcStripeBits,
+              config.mem.numMcs);
+    }
+    if (config.resize.enabled && config.scheme == SchemeKind::Banshee &&
+        config.mem.hasInPkg) {
+        const std::uint64_t framesPerMc =
+            (config.mem.inPkgCapacity / config.mem.numMcs) >>
+            config.banshee.pageBits;
+        const std::uint64_t sets = framesPerMc / config.banshee.ways;
+        const std::uint32_t slices = config.resize.hash.numSlices;
+        if (sets < slices || sets % slices != 0) {
+            fatal("resize needs each controller's set count to split "
+                  "evenly over slices, but %llu sets (inPkgCapacity "
+                  "%llu B / %u MCs / 2^%u B pages / %u ways) do not "
+                  "divide into %u slices — lower "
+                  "resize.hash.numSlices, shrink pageBits, or grow "
+                  "inPkgCapacity",
+                  static_cast<unsigned long long>(sets),
+                  static_cast<unsigned long long>(
+                      config.mem.inPkgCapacity),
+                  config.mem.numMcs, config.banshee.pageBits,
+                  config.banshee.ways, slices);
+        }
+    }
+
     if (config.tenants.empty()) {
         sim_assert(WorkloadFactory::exists(config.workload),
                    "unknown workload '%s'", config.workload.c_str());
@@ -175,6 +210,29 @@ System::System(const SystemConfig &config) : config_(config)
             resize_->attachPowerModel(&mem_->inPkg()->power());
         if (tenants_)
             resize_->attachTenants(tenants_.get());
+    }
+
+    // QoS channel scheduling: seed bandwidth entitlements from the
+    // quota weights now; resize commits re-push shares as slices
+    // change hands (attachQosDevice pushes the partition-based split).
+    if (config.mem.qos.enabled && mem_->inPkg()) {
+        if (tenants_) {
+            const std::uint32_t n = std::min<std::uint32_t>(
+                tenants_->numTenants(), kMaxTenants);
+            double wsum = 0.0;
+            for (std::uint32_t t = 0; t < n; ++t)
+                wsum += tenants_->weight(static_cast<TenantId>(t));
+            if (wsum > 0.0) {
+                std::array<double, kMaxTenants> shares{};
+                for (std::uint32_t t = 0; t < n; ++t) {
+                    shares[t] =
+                        tenants_->weight(static_cast<TenantId>(t)) / wsum;
+                }
+                mem_->inPkg()->setQosShares(shares);
+            }
+        }
+        if (resize_)
+            resize_->attachQosDevice(mem_->inPkg());
     }
 
     HierarchyParams hp = config.hierarchy;
@@ -555,6 +613,8 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
         }
     }
 
+    r.qosSchedEnabled = config_.mem.qos.enabled && mem_->inPkg() != nullptr;
+
     if (resize_) {
         r.resizesStarted = resize_->resizesStarted();
         r.resizesCompleted = resize_->resizesCompleted();
@@ -602,6 +662,8 @@ System::collect(const std::vector<Cycle> &phaseStartCycle,
                 ts.inPkgBytes = mem_->inPkg()->traffic().tenantBytes(t);
                 ts.inPkgDynPJ =
                     mem_->inPkg()->power().energy().tenantDynamicPJ(t);
+                ts.qosGrants = mem_->inPkg()->traffic().qosGrants(t);
+                ts.qosDefers = mem_->inPkg()->traffic().qosDefers(t);
             }
             if (mem_->offPkg()) {
                 ts.offPkgBytes = mem_->offPkg()->traffic().tenantBytes(t);

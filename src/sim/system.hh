@@ -62,6 +62,11 @@ struct TenantRunStats
 
     /** Slices owned at the end of the run (0 when unpartitioned). */
     std::uint32_t slicesOwned = 0;
+
+    /** QoS scheduler accounting on the in-package device (zero when
+     *  the scheduler is off; see TrafficStats). */
+    std::uint64_t qosGrants = 0;
+    std::uint64_t qosDefers = 0;
 };
 
 /** Everything measured over the measured phase of one run. */
@@ -115,6 +120,10 @@ struct RunResult
     std::uint64_t migrationTagStalls = 0;
     std::uint32_t finalActiveSlices = 0;
     std::uint64_t qosReassigns = 0; ///< slice ownership transfers
+
+    /** The in-package QoS channel scheduler was enabled for this run
+     *  (gates the per-tenant grant/defer fields in JSON output). */
+    bool qosSchedEnabled = false;
 
     /** Per-tenant splits (empty for single-tenant runs). */
     std::vector<TenantRunStats> tenants;

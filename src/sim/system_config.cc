@@ -132,6 +132,20 @@ SystemConfig::withQosArbiter(double capWatts)
 }
 
 SystemConfig &
+SystemConfig::withDramQos(Cycle epochCycles, Cycle readAgeCap,
+                          Cycle writeAgeCap, std::uint32_t writeDrainHigh,
+                          std::uint32_t writeDrainLow)
+{
+    mem.qos.enabled = true;
+    mem.qos.epochCycles = epochCycles;
+    mem.qos.readAgeCap = readAgeCap;
+    mem.qos.writeAgeCap = writeAgeCap;
+    mem.qos.writeDrainHigh = writeDrainHigh;
+    mem.qos.writeDrainLow = writeDrainLow;
+    return *this;
+}
+
+SystemConfig &
 SystemConfig::withTelemetry(std::string path, Cycle epochCycles)
 {
     telemetry.enabled = true;

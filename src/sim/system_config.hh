@@ -158,6 +158,18 @@ struct SystemConfig
     SystemConfig &withQosArbiter(double capWatts = 0.0);
 
     /**
+     * Enable the QoS channel scheduler on the in-package device:
+     * per-tenant bandwidth credits on an epoch clock plus age-bounded
+     * FR-FCFS and a bounded write-drain age (see dram/qos_sched.hh).
+     * Off by default — seed-default runs stay byte-identical.
+     */
+    SystemConfig &withDramQos(Cycle epochCycles = 8192,
+                              Cycle readAgeCap = 4096,
+                              Cycle writeAgeCap = 16384,
+                              std::uint32_t writeDrainHigh = 0,
+                              std::uint32_t writeDrainLow = 0);
+
+    /**
      * Enable epoch-resolved telemetry: metric time series, latency
      * histograms and a structured JSONL event trace appended to
      * @p path. @p epochCycles 0 keeps the default sampling cadence

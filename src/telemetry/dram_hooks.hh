@@ -30,6 +30,11 @@ struct ChannelTelemetry
     Histogram readOccupancy;
     Histogram writeOccupancy;
 
+    /** Wait (core cycles) of requests the QoS credit arbitration
+     *  bypassed, recorded at each defer. Empty while the scheduler
+     *  is off, so summaries omit it. */
+    Histogram qosDeferAge;
+
     /** Device-level per-tenant sojourn histograms, indexed by
      *  tenantBucket(); shared by every channel of the device. Null
      *  when the device carries no tenant-attributed traffic. */

@@ -35,6 +35,11 @@ struct HistogramSummary
     std::uint64_t p95 = 0;
     std::uint64_t p99 = 0;
     std::uint64_t max = 0;
+    /** Samples landed in the top bucket: percentiles that resolve
+     *  there are the clamp value (observed max), not a bucket bound —
+     *  the log2 range ran out, so treat tail quantiles as lower
+     *  bounds rather than estimates. */
+    bool saturated = false;
 };
 
 class Histogram
@@ -161,6 +166,7 @@ class Histogram
         s.p95 = percentile(0.95);
         s.p99 = percentile(0.99);
         s.max = max_;
+        s.saturated = buckets_[kBuckets - 1] != 0;
         return s;
     }
 

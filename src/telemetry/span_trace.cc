@@ -203,7 +203,8 @@ PageJournal::addChannelTrack(const std::string &name)
 void
 PageJournal::channelRequest(std::uint32_t track, PageNum page,
                             Cycle arrival, Cycle busStart, Cycle complete,
-                            bool isWrite, TrafficCat cat, TenantId tenant)
+                            bool isWrite, TrafficCat cat, TenantId tenant,
+                            const char *qos)
 {
     lastCycle_ = std::max(lastCycle_, complete);
     const std::string id = std::to_string(nextAsyncId_++);
@@ -214,11 +215,20 @@ PageJournal::channelRequest(std::uint32_t track, PageNum page,
     // chained into a service slice (bus grant -> completion) under the
     // same id, so Perfetto renders the split visually and the summary
     // script attributes latency to queueing vs service per tenant.
-    emit(head("queue", "b", kChannelsPid, track, arrival) + tail,
-         {{"page", hexPage(page)},
-          {"rw", isWrite ? "W" : "R"},
-          {"cat", trafficCatName(cat)},
-          {"tenant", static_cast<std::uint32_t>(tenant)}});
+    if (qos) {
+        emit(head("queue", "b", kChannelsPid, track, arrival) + tail,
+             {{"page", hexPage(page)},
+              {"rw", isWrite ? "W" : "R"},
+              {"cat", trafficCatName(cat)},
+              {"tenant", static_cast<std::uint32_t>(tenant)},
+              {"qos", qos}});
+    } else {
+        emit(head("queue", "b", kChannelsPid, track, arrival) + tail,
+             {{"page", hexPage(page)},
+              {"rw", isWrite ? "W" : "R"},
+              {"cat", trafficCatName(cat)},
+              {"tenant", static_cast<std::uint32_t>(tenant)}});
+    }
     emit(head("queue", "e", kChannelsPid, track, busStart) + tail, {});
     emit(head("service", "b", kChannelsPid, track, busStart) + tail, {});
     emit(head("service", "e", kChannelsPid, track, complete) + tail, {});

@@ -138,10 +138,13 @@ class PageJournal
     std::uint32_t addChannelTrack(const std::string &name);
 
     /** One DRAM request touching a sampled page: queue slice
-     *  [arrival, busStart) then service slice [busStart, complete). */
+     *  [arrival, busStart) then service slice [busStart, complete).
+     *  @p qos optionally tags how the QoS scheduler treated the
+     *  request ("aged"/"deferred"); null emits no tag. */
     void channelRequest(std::uint32_t track, PageNum page, Cycle arrival,
                         Cycle busStart, Cycle complete, bool isWrite,
-                        TrafficCat cat, TenantId tenant);
+                        TrafficCat cat, TenantId tenant,
+                        const char *qos = nullptr);
 
     // -------------------------------------------------- control tracks
 

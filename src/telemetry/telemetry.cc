@@ -8,12 +8,16 @@ namespace banshee {
 
 Telemetry::Telemetry(EventQueue &eq, const TelemetryConfig &config)
     : eq_(eq), config_(config),
-      runLabel_(config.runLabel.empty() ? "run" : config.runLabel),
-      sink_(TraceSink::shared(resolveTracePath(config.path, config.runLabel,
-                                               ".jsonl", /*perRun=*/false)))
+      runLabel_(config.runLabel.empty() ? "run" : config.runLabel)
 {
     sim_assert(config.enabled, "Telemetry built while disabled");
-    sim_assert(!config.path.empty(), "telemetry needs an output path");
+    // An empty path keeps the in-memory side (histograms, timers,
+    // summaries()) without a JSONL sink — benches that only want
+    // end-of-run percentiles use this to skip the file.
+    const std::string resolved = resolveTracePath(
+        config.path, config.runLabel, ".jsonl", /*perRun=*/false);
+    if (!resolved.empty())
+        sink_ = TraceSink::shared(resolved);
 }
 
 Histogram &
@@ -37,6 +41,7 @@ Telemetry::channelTelemetry(const std::string &name)
     registry_.addHistogram(name + ".queueLat", ct.queueLatency);
     registry_.addHistogram(name + ".readOcc", ct.readOccupancy);
     registry_.addHistogram(name + ".writeOcc", ct.writeOccupancy);
+    registry_.addHistogram(name + ".qosDeferAge", ct.qosDeferAge);
     return ct;
 }
 
@@ -52,7 +57,8 @@ void
 Telemetry::event(const char *type,
                  std::initializer_list<TraceField> fields)
 {
-    sink_->event(runLabel_, eq_.now(), type, fields);
+    if (sink_)
+        sink_->event(runLabel_, eq_.now(), type, fields);
 }
 
 void
@@ -64,6 +70,7 @@ Telemetry::resetHistograms()
         ct->queueLatency.reset();
         ct->readOccupancy.reset();
         ct->writeOccupancy.reset();
+        ct->qosDeferAge.reset();
     }
     for (Histogram &h : tenantQlat_)
         h.reset();
@@ -74,7 +81,8 @@ Telemetry::startEpochs()
 {
     registry_.start(eq_, config_.epochCycles,
                     [this](const MetricRegistry::Sample &s) {
-                        sink_->writeLine(epochJson(s));
+                        if (sink_)
+                            sink_->writeLine(epochJson(s));
                     });
     // Baseline sample at the measure boundary: epoch 0 carries the
     // post-reset cumulative state, so every later epoch (including the
@@ -94,6 +102,8 @@ Telemetry::finishEpochs()
 void
 Telemetry::emitProfile()
 {
+    if (!sink_)
+        return;
     std::string json = "{\"run\": \"" + jsonEscape(runLabel_) +
                        "\", \"cycle\": " + std::to_string(eq_.now()) +
                        ", \"event\": \"profile\", \"timers\": {";

@@ -37,7 +37,10 @@ class Telemetry
     const std::string &runLabel() const { return runLabel_; }
 
     MetricRegistry &registry() { return registry_; }
-    TraceSink &sink() { return *sink_; }
+
+    /** The JSONL sink, or null when the config path is empty (the
+     *  in-memory-only mode: histograms and summaries() still work). */
+    TraceSink *sink() { return sink_.get(); }
 
     /** Create (or fetch) an owned histogram registered as @p name. */
     Histogram &histogram(const std::string &name);

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "common/event_queue.hh"
 #include "dram/dram_model.hh"
 
@@ -281,6 +285,207 @@ TEST_P(DramBurstTest, TransferTimeScalesWithSize)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, DramBurstTest,
                          ::testing::Values(32u, 64u, 96u, 128u, 256u));
+
+// ------------------------------------------------------------------
+// QoS channel scheduler (dram/qos_sched.hh)
+// ------------------------------------------------------------------
+
+/** Enqueue a read/write and collect its completion cycle. */
+void
+enqueue(DramModel &dram, Addr addr, bool isWrite, std::vector<Cycle> &done,
+        TenantId tenant = kNoTenant)
+{
+    DramRequest req;
+    req.addr = addr;
+    req.bytes = 64;
+    req.isWrite = isWrite;
+    req.tenant = tenant;
+    const std::size_t slot = done.size();
+    done.push_back(0);
+    req.done = [&done, slot](Cycle when) { done[slot] = when; };
+    dram.access(0, std::move(req));
+}
+
+TEST_F(DramTest, QosDisabledKnobsAreByteIdentical)
+{
+    // Satellite guard: a config object full of QoS knobs changes
+    // nothing while `enabled` stays false — every completion cycle
+    // matches a stock channel's.
+    const DramTiming t;
+    auto runMix = [&](bool withKnobs) {
+        eq.reset();
+        DramModel dram(eq, DramTiming{}, 1, "d");
+        if (withKnobs) {
+            DramQosConfig qc;
+            qc.enabled = false; // the only knob that matters
+            qc.epochCycles = 64;
+            qc.readAgeCap = 1;
+            qc.writeAgeCap = 1;
+            qc.window = 2;
+            qc.writeDrainHigh = 2;
+            qc.writeDrainLow = 1;
+            dram.setQosConfig(qc);
+        }
+        std::vector<Cycle> done;
+        for (int i = 0; i < 96; ++i) {
+            const Addr addr =
+                static_cast<Addr>(i % 7) * t.rowBytes + (i % 13) * 64;
+            enqueue(dram, addr, i % 3 == 0, done,
+                    static_cast<TenantId>(i % 2));
+        }
+        eq.run();
+        return done;
+    };
+    EXPECT_EQ(runMix(false), runMix(true));
+}
+
+TEST_F(DramTest, QosWriteAgeBoundsParkedWrite)
+{
+    // A lone write parked behind a steady read stream: stock FR-FCFS
+    // drains it only once the read queue empties; the QoS write-age
+    // cap forces the drain once the write is over age.
+    const DramTiming t;
+    auto runParked = [&](bool qosOn) {
+        eq.reset();
+        DramModel dram(eq, DramTiming{}, 1, "d");
+        if (qosOn) {
+            DramQosConfig qc;
+            qc.enabled = true;
+            qc.writeAgeCap = 256;
+            qc.readAgeCap = 0; // isolate the write bound
+            dram.setQosConfig(qc);
+        }
+        std::vector<Cycle> writeDone, readDone;
+        enqueue(dram, t.rowBytes, true, writeDone); // bank 1
+        for (int i = 0; i < 200; ++i)
+            enqueue(dram, static_cast<Addr>(i % 32) * 64, false, readDone);
+        eq.run();
+        const Cycle lastRead =
+            *std::max_element(readDone.begin(), readDone.end());
+        return std::make_pair(writeDone[0], lastRead);
+    };
+    const auto [stockWrite, stockLastRead] = runParked(false);
+    const auto [qosWrite, qosLastRead] = runParked(true);
+    EXPECT_GT(stockWrite, stockLastRead); // parked until reads drain
+    EXPECT_LT(qosWrite, qosLastRead);     // age bound frees it
+    EXPECT_LT(qosWrite, stockWrite);
+}
+
+TEST_F(DramTest, QosAgedReadBeatsRowHitStream)
+{
+    // A row-conflict read stuck behind a row-hit stream on the same
+    // bank: stock FR-FCFS serves every hit first; the read-age bound
+    // pops the aged front past them.
+    const DramTiming t;
+    const Addr rowB = static_cast<Addr>(t.rowBytes) * t.numBanks;
+    auto runStream = [&](bool qosOn) {
+        eq.reset();
+        DramModel dram(eq, DramTiming{}, 1, "d");
+        if (qosOn) {
+            DramQosConfig qc;
+            qc.enabled = true;
+            qc.readAgeCap = 256;
+            qc.writeAgeCap = 0;
+            dram.setQosConfig(qc);
+        }
+        std::vector<Cycle> aDone, bDone;
+        for (int i = 0; i < 4; ++i)
+            enqueue(dram, static_cast<Addr>(i) * 64, false, aDone);
+        enqueue(dram, rowB, false, bDone);
+        for (int i = 4; i < 64; ++i)
+            enqueue(dram, static_cast<Addr>(i % 32) * 64, false, aDone);
+        eq.run();
+        const Cycle lastA =
+            *std::max_element(aDone.begin(), aDone.end());
+        return std::make_pair(bDone[0], lastA);
+    };
+    const auto [stockB, stockLastA] = runStream(false);
+    const auto [qosB, qosLastA] = runStream(true);
+    EXPECT_GT(stockB, stockLastA); // starved behind every row hit
+    EXPECT_LT(qosB, qosLastA);     // served once over age
+    (void)qosLastA;
+}
+
+TEST_F(DramTest, QosCreditThrottleDefersFlooderUntilVictimDrains)
+{
+    // Tenant 1 floods 32 reads, tenant 0 enqueues 8 afterwards; with
+    // 3:1 shares over a tiny epoch budget the flooder exhausts its
+    // credit after 8 grants and the victim's whole batch overtakes
+    // the remaining flood. Work conservation then lets the flooder
+    // finish on its own.
+    DramModel dram(eq, DramTiming{}, 1, "d");
+    DramQosConfig qc;
+    qc.enabled = true;
+    qc.epochCycles = 1'000'000'000; // never refills during the test
+    qc.bytesPerEpoch = 2048;        // flooder: 512 B = 8 reads
+    qc.readAgeCap = 0;
+    qc.writeAgeCap = 0;
+    dram.setQosConfig(qc);
+    std::array<double, kMaxTenants> shares{};
+    shares[0] = 0.75;
+    shares[1] = 0.25;
+    dram.setQosShares(shares);
+
+    std::vector<Cycle> flooderDone, victimDone;
+    for (int i = 0; i < 32; ++i)
+        enqueue(dram, static_cast<Addr>(i % 16) * 64, false, flooderDone,
+                /*tenant=*/1);
+    for (int i = 0; i < 8; ++i)
+        enqueue(dram, static_cast<Addr>(16 + i) * 64, false, victimDone,
+                /*tenant=*/0);
+    eq.run();
+
+    const Cycle victimLast =
+        *std::max_element(victimDone.begin(), victimDone.end());
+    const Cycle flooderLast =
+        *std::max_element(flooderDone.begin(), flooderDone.end());
+    EXPECT_LT(victimLast, flooderLast);
+    // Every issued request is a grant; bypassing the flooder while
+    // the victim drained recorded defers against the flooder only.
+    EXPECT_EQ(dram.traffic().qosGrants(0), 8u);
+    EXPECT_EQ(dram.traffic().qosGrants(1), 32u);
+    EXPECT_GT(dram.traffic().qosDefers(1), 0u);
+    EXPECT_EQ(dram.traffic().qosDefers(0), 0u);
+}
+
+TEST_F(DramTest, QosDrainWatermarkOverridesSplitTheDrain)
+{
+    // Hysteresis edges under the QoS watermark overrides: 24 queued
+    // writes hit the overridden high watermark (24) immediately, the
+    // drain runs down to the overridden low watermark (8) — exactly
+    // 16 writes — and the remaining 8 wait until the reads empty.
+    // Stock watermarks (48/16) never drain before the reads finish.
+    const DramTiming t;
+    auto runBatch = [&](bool qosOn) {
+        eq.reset();
+        DramModel dram(eq, DramTiming{}, 1, "d");
+        if (qosOn) {
+            DramQosConfig qc;
+            qc.enabled = true;
+            qc.readAgeCap = 0;
+            qc.writeAgeCap = 0;
+            qc.writeDrainHigh = 24;
+            qc.writeDrainLow = 8;
+            dram.setQosConfig(qc);
+        }
+        std::vector<Cycle> writeDone, readDone;
+        for (int i = 0; i < 24; ++i)
+            enqueue(dram, t.rowBytes + static_cast<Addr>(i) * 64, true,
+                    writeDone);
+        for (int i = 0; i < 40; ++i)
+            enqueue(dram, static_cast<Addr>(i % 32) * 64, false, readDone);
+        eq.run();
+        const Cycle lastRead =
+            *std::max_element(readDone.begin(), readDone.end());
+        int before = 0;
+        for (Cycle w : writeDone)
+            if (w < lastRead)
+                ++before;
+        return before;
+    };
+    EXPECT_EQ(runBatch(false), 0);
+    EXPECT_EQ(runBatch(true), 24 - 8);
+}
 
 } // namespace
 } // namespace banshee

@@ -127,6 +127,9 @@ class FakeHost : public ResizeHost
     bool allowEvict = true;
     int commitRequests = 0;
     int evictions = 0;
+    int capacityLosses = 0;
+
+    void onCapacityLoss() override { ++capacityLosses; }
 
     std::uint32_t numSets() const override { return 16; }
 
@@ -283,6 +286,38 @@ TEST(MigrationEngine, DeferredScheduledStepIsRetriedNotDropped)
     EXPECT_GT(rc.stats().value("decisionsDeferred"), 0u);
     EXPECT_EQ(rc.resizesCompleted(), 2u);
     EXPECT_EQ(rc.activeSlices(), 8u);
+}
+
+TEST(MigrationEngine, CapacityLossHookFiresOnShrinkCommitOnly)
+{
+    // The decay hook (ResizeHost::onCapacityLoss) must fire exactly
+    // when a capacity-losing transition commits — not when it starts,
+    // and never on a grow.
+    EventQueue eq;
+    PageTableManager pt;
+    OsServices os(eq, pt);
+    FakeHost host; // 16 sets -> 2 sets per slice with 8 slices
+    for (std::uint32_t s = 0; s < 16; ++s)
+        host.frames[{s, 0}] = FakeHost::Frame{2000 + s, false};
+
+    ResizeConfig cfg;
+    cfg.enabled = true;
+    cfg.policy.epoch = 1000;
+    cfg.policy.schedule = {ResizeStep{0, 4}};
+    ResizeController rc(eq, os, cfg);
+    rc.addHost(host, "rc0");
+
+    rc.onMeasureStart();
+    eq.run(50'000);
+    rc.stopEpochs();
+    eq.run(100'000);
+    EXPECT_EQ(rc.resizesCompleted(), 1u);
+    EXPECT_EQ(host.capacityLosses, 1);
+
+    EXPECT_TRUE(rc.requestResize(8)); // recover: a grow loses nothing
+    eq.run(200'000);
+    EXPECT_EQ(rc.resizesCompleted(), 2u);
+    EXPECT_EQ(host.capacityLosses, 1);
 }
 
 // ------------------------------------------------------------------
@@ -472,6 +507,34 @@ TEST(ResizeEndToEnd, ConsistentHashBeatsFlushResizeOnTransitionTraffic)
         // Fewer pages migrate under consistent hashing.
         EXPECT_LT(ch.pagesMigrated, flush.pagesMigrated) << workload;
     }
+}
+
+TEST(ResizeEndToEnd, ShrinkThenRecoverWithFbrDecayStaysConsistent)
+{
+    // fbrDecayOnShrink (halving pinned in test_banshee, commit-time
+    // plumbing in the FakeHost test above) end to end: it must change
+    // post-shrink dynamics — the halved counters let new residents
+    // re-earn admission — without breaking residency consistency or
+    // the recover-by-grow path.
+    auto runWith = [](bool decay) {
+        SystemConfig c = resizeBase("omnetpp");
+        c.banshee.fbrDecayOnShrink = decay;
+        c.withResizeStep(1, 4);
+        System s(c);
+        const RunResult r = runAndDrain(s);
+        ResizeController *rc = s.resizeController();
+        EXPECT_EQ(rc->activeSlices(), 4u);
+        EXPECT_TRUE(rc->requestResize(8)); // recover
+        s.eventQueue().run();
+        EXPECT_EQ(rc->activeSlices(), 8u);
+        EXPECT_EQ(rc->resizesCompleted(), 2u);
+        rc->verifyResidencyConsistent();
+        return r.cycles;
+    };
+    const std::uint64_t cyclesOff = runWith(false);
+    const std::uint64_t cyclesOn = runWith(true);
+    // The decay engaged mid-run: the measured phase ran differently.
+    EXPECT_NE(cyclesOff, cyclesOn);
 }
 
 TEST(ResizeEndToEnd, DisabledResizeIsBitIdenticalToSeedBehavior)

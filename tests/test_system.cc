@@ -175,6 +175,60 @@ TEST(SystemIntegration, LargePagesRunEndToEnd)
     EXPECT_GT(r.dramCacheAccesses, 0u);
 }
 
+TEST(SystemIntegration, LargePagesAcrossStripedMcsFailFast)
+{
+    // 2 MB pages with the default 4 KB MC striping would shred every
+    // cache page across all four controllers; the System constructor
+    // must reject the config with an actionable error instead of
+    // tripping deep asserts (or silently misplacing pages).
+    SystemConfig c = tiny(SchemeKind::Banshee, "pagerank");
+    c.mem.inPkgCapacity = 64ull << 20;
+    c.banshee.pageBits = kLargePageBits;
+    ASSERT_GT(c.mem.numMcs, 1u);
+    ASSERT_LT(c.mem.mcStripeBits, kLargePageBits);
+    EXPECT_EXIT(System s(c), ::testing::ExitedWithCode(1),
+                "banshee.pageBits");
+}
+
+TEST(SystemIntegration, LargePagesWithUndividableSlicesFailFast)
+{
+    // Resize slices partition each controller's sets; 2 MB pages on a
+    // 64 MB cache leave 2 sets per MC, which cannot split over 8
+    // slices. Must fail fast with the config error, not an internal
+    // assert inside the resize domain.
+    SystemConfig c = tiny(SchemeKind::Banshee, "pagerank");
+    c.mem.inPkgCapacity = 64ull << 20;
+    c.banshee.pageBits = kLargePageBits;
+    c.mem.mcStripeBits = kLargePageBits;
+    c.withResizeStep(1, 4);
+    c.resize.hash.numSlices = 8;
+    EXPECT_EXIT(System s(c), ::testing::ExitedWithCode(1),
+                "divide into 8 slices");
+}
+
+TEST(SystemIntegration, LargePagesWithResizeRunValidlyConfigured)
+{
+    // The positive path the two fail-fast checks guard: one MC keeps
+    // a 2 MB-paged 64 MB cache at 8 sets, which does split over 8
+    // slices — resize and large pages compose.
+    SystemConfig c = tiny(SchemeKind::Banshee, "pagerank");
+    c.mem.numMcs = 1;
+    c.mem.inPkgCapacity = 64ull << 20;
+    c.footprintScale = 0.25;
+    c.banshee.pageBits = kLargePageBits;
+    c.banshee.samplingCoeff = 0.001;
+    c.banshee.checkStaleInvariant = false; // TLB is 4K-grained
+    c.tlb.missLatency = 0;
+    c.withResizeStep(1, 4);
+    System s(c);
+    const RunResult r = s.run();
+    s.resizeController()->stopEpochs();
+    s.eventQueue().run();
+    EXPECT_GT(r.dramCacheAccesses, 0u);
+    EXPECT_EQ(s.resizeController()->activeSlices(), 4u);
+    s.resizeController()->verifyResidencyConsistent();
+}
+
 TEST(SystemIntegration, BatmanRunsAndBypassActivatesUnderPressure)
 {
     SystemConfig c = tiny(SchemeKind::Banshee, "libquantum");
