@@ -13,9 +13,14 @@
 #include "common/alias_table.hh"
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "core/banshee.hh"
 #include "core/fbr_directory.hh"
 #include "core/tag_buffer.hh"
 #include "dram/dram_model.hh"
+#include "mem/mem_system.hh"
+#include "os/os_services.hh"
+#include "os/page_table.hh"
+#include "sim/domain_engine.hh"
 #include "workload/pattern.hh"
 
 using namespace banshee;
@@ -205,5 +210,122 @@ BM_EventQueueFarHeap(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueueFarHeap);
+
+// ------------------------------------------------------------------
+// Event-domain engine (sim/domain_engine.hh)
+// ------------------------------------------------------------------
+
+static void
+BM_DomainEpochBarrier(benchmark::State &state)
+{
+    // Barrier round-trip with idle channel domains: release two
+    // workers, run an (almost) empty frontend window, wait, exchange
+    // empty mailboxes. This is the fixed per-epoch tax every parallel
+    // run pays W simulated cycles.
+    EventQueue fe;
+    DomainEngine engine(fe, 2);
+    MemSystemParams mp;
+    mp.numMcs = 4;
+    mp.hasOffPkg = false;
+    MemSystem mem(fe, mp, &engine);
+    engine.attach(mem);
+
+    const Cycle w = engine.epochCycles();
+    for (auto _ : state) {
+        bool fired = false;
+        fe.schedule(fe.now() + w, [&fired](Cycle) { fired = true; });
+        engine.runPhase([&fired] { return fired; });
+    }
+    state.counters["epochs"] = static_cast<double>(engine.epochsRun());
+}
+BENCHMARK(BM_DomainEpochBarrier);
+
+static void
+BM_DomainMailboxRoundTrip(benchmark::State &state)
+{
+    // Full cross-domain cycle: frontend pushes a request (mailbox
+    // envelope), the channel domain runs it, the completion merges
+    // back and wakes the frontend callback — mailbox push + drain on
+    // both directions plus the epoch barriers in between.
+    EventQueue fe;
+    DomainEngine engine(fe, 2);
+    MemSystemParams mp;
+    mp.numMcs = 4;
+    mp.hasOffPkg = false;
+    MemSystem mem(fe, mp, &engine);
+    engine.attach(mem);
+
+    std::uint64_t received = 0, sent = 0;
+    for (auto _ : state) {
+        fe.schedule(fe.now() + 1, [&](Cycle) {
+            DramRequest req;
+            req.addr = (sent * 4096) & ((1u << 24) - 1);
+            req.bytes = 64;
+            req.done = [&received](Cycle) { ++received; };
+            mem.inPkg()->access(0, std::move(req));
+        });
+        ++sent;
+        engine.runPhase([&] { return received == sent; });
+    }
+}
+BENCHMARK(BM_DomainMailboxRoundTrip);
+
+// ------------------------------------------------------------------
+// Per-core mapping memo (core/banshee.hh)
+// ------------------------------------------------------------------
+
+namespace {
+
+/** Minimal scheme surroundings (mirrors tests/scheme_harness.hh). */
+struct MemoBench
+{
+    EventQueue eq;
+    DramModel inPkg{eq, DramTiming{}, 1, "bmIn"};
+    DramModel offPkg{eq, DramTiming{}, 1, "bmOff"};
+    PageTableManager pageTable;
+    OsServices os{eq, pageTable};
+    SchemeContext ctx;
+    std::unique_ptr<BansheeScheme> scheme;
+
+    MemoBench()
+    {
+        ctx.eq = &eq;
+        ctx.inPkg = &inPkg;
+        ctx.offPkg = &offPkg;
+        ctx.mcId = 0;
+        ctx.numMcs = 1;
+        ctx.cacheBytesPerMc = 8ull << 20;
+        ctx.pageTable = &pageTable;
+        ctx.os = &os;
+        ctx.seed = 1;
+        scheme = std::make_unique<BansheeScheme>(ctx, BansheeConfig{});
+    }
+};
+
+} // namespace
+
+static void
+BM_MappingMemoHit(benchmark::State &state)
+{
+    // The fetch fast path: same page, same core — one compare.
+    MemoBench b;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(b.scheme->setOfMemo(0x123, 0));
+}
+BENCHMARK(BM_MappingMemoHit);
+
+static void
+BM_MappingMemoMissRecompute(benchmark::State &state)
+{
+    // Alternating pages defeat the depth-1 MRU: every lookup pays the
+    // full hash + modulus (the pre-memo cost, for comparison).
+    MemoBench b;
+    PageNum p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.scheme->setOfMemo(0x1000 + (p & 1), 0));
+        ++p;
+    }
+}
+BENCHMARK(BM_MappingMemoMissRecompute);
 
 BENCHMARK_MAIN();

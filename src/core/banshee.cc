@@ -124,10 +124,9 @@ void
 BansheeScheme::demandFetch(LineAddr line, const MappingInfo &mapping,
                            CoreId core, MissDoneFn done)
 {
-    (void)core;
     const PageNum page = pageOfLine64(line);
     const TenantId tenant = tenantOfAddr(lineToAddr(line));
-    const std::uint32_t setIdx = setOf(page);
+    const std::uint32_t setIdx = setOfMemo(page, core);
     bool tbHit = false;
     const PageMapping m = resolveMapping(page, mapping, true, &tbHit);
 

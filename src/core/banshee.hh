@@ -30,6 +30,7 @@
 #define BANSHEE_CORE_BANSHEE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/fbr_directory.hh"
@@ -130,18 +131,15 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
 
     bool replacementsLocked() const { return replacementsLocked_; }
 
+    /** Mapping-memo observability (tests/microbenches; plain members,
+     *  not StatSet, so enabling them can't perturb any report). */
+    std::uint64_t setMemoHits() const { return memoHits_; }
+    std::uint64_t setMemoLookups() const { return memoLookups_; }
+
     /** Freeze/unfreeze replacements (driven by the OS routine). */
     void setReplacementsLocked(bool locked) { replacementsLocked_ = locked; }
 
     std::uint64_t pagesInserted() const { return statInserts_.value(); }
-
-  private:
-    /** Scheme-granularity page number of a 64 B line. */
-    PageNum
-    pageOfLine64(LineAddr line) const
-    {
-        return lineToAddr(line) >> config_.pageBits;
-    }
 
     /**
      * Set index. The page number is mixed with a Fibonacci hash
@@ -164,6 +162,42 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
         if (resizeDomain_)
             return resizeDomain_->setOf(page, h >> 32);
         return static_cast<std::uint32_t>((h >> 32) % dir_.numSets());
+    }
+
+    /**
+     * Memoized setOf for the demand path. Each core's accesses have
+     * page locality (64 lines per 4 KB page), so a per-core MRU
+     * (page, set) pair short-circuits the pin lookup + ring walk +
+     * hash on most fetches. setOf is pure in (page, layout
+     * generation): an entry is served only while the resize domain's
+     * layoutGeneration() still matches the one it was computed under
+     * (constant 0 without resizing), so hits are byte-identical to
+     * recomputation by construction.
+     */
+    std::uint32_t
+    setOfMemo(PageNum page, CoreId core)
+    {
+        const std::uint64_t gen =
+            resizeDomain_ ? resizeDomain_->layoutGeneration() : 0;
+        if (core >= setMemo_.size())
+            setMemo_.resize(core + 1);
+        SetMemoEntry &e = setMemo_[core];
+        ++memoLookups_;
+        if (e.page == page && e.generation == gen) {
+            ++memoHits_;
+            return e.setIdx;
+        }
+        const std::uint32_t idx = setOf(page);
+        e = SetMemoEntry{page, gen, idx};
+        return idx;
+    }
+
+  private:
+    /** Scheme-granularity page number of a 64 B line. */
+    PageNum
+    pageOfLine64(LineAddr line) const
+    {
+        return lineToAddr(line) >> config_.pageBits;
     }
 
     /** Device address of a page frame (set, way) on this channel. */
@@ -217,6 +251,13 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
                           TenantId tenant,
                           PageNum spanPage = kNoSpanPage);
 
+    struct SetMemoEntry
+    {
+        PageNum page = ~0ull;
+        std::uint64_t generation = 0;
+        std::uint32_t setIdx = 0;
+    };
+
     BansheeConfig config_;
     FbrDirectory dir_;
     TagBuffer tagBuffer_;
@@ -228,6 +269,10 @@ class BansheeScheme : public DramCacheScheme, public ResizeHost
     std::uint64_t lruStampCounter_ = 1;
     std::uint32_t pageBytes_;
     Addr metaBase_;
+    /** Per-core MRU page->set memo (grown on first use per core). */
+    std::vector<SetMemoEntry> setMemo_;
+    std::uint64_t memoHits_ = 0;
+    std::uint64_t memoLookups_ = 0;
 
     Counter &statSampled_;
     Counter &statInserts_;

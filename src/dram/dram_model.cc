@@ -52,6 +52,23 @@ DramChannel::armKick(Cycle when)
     // executing staleness filters).
     if (kickEvent_.armed() && kickEvent_.when() <= when)
         return;
+    // Kick coalescing: collapse back-to-back same-cycle no-op kicks.
+    // Once a kick has already fired this cycle and issued nothing
+    // (lastNoopKickCycle_ == when), a further supersede by a push in
+    // the same cycle would replay the identical round trip: fire,
+    // see the same reserved-past-horizon bus (busFree_ cannot move
+    // without an issue), and re-arm back onto the cycle it is armed
+    // at now. The first no-op of the cycle is deliberately NOT
+    // skipped: its re-arm pins the wheel entry at the re-arm cycle
+    // that the baseline's revival semantics (event-queue invariant
+    // I5) can observe; only the redundant repeats are elided. The
+    // A/B knob and the coalescing unit/e2e diff tests guard this.
+    if (coalesceKicks_ && kickEvent_.armed() &&
+        lastNoopKickCycle_ == when &&
+        kickEvent_.when() + timing_.toCore(kReserveAheadDramCycles / 2) ==
+            busFree_ &&
+        busFree_ > when + timing_.toCore(kReserveAheadDramCycles))
+        return;
     eq_.schedule(kickEvent_, when);
 }
 
@@ -291,7 +308,7 @@ DramChannel::issue(Pending p)
         casTime = start + timing_.toCore(timing_.scaledRCD());
         bank.lastActStart = start;
         bank.openRow = row;
-        power_.onActivate(p.req.cat, p.req.tenant);
+        power_.onActivate(p.req.cat, p.req.tenant, energySink_);
     } else {
         const Cycle rasDone =
             bank.lastActStart + timing_.toCore(timing_.scaledRAS());
@@ -301,10 +318,10 @@ DramChannel::issue(Pending p)
         bank.lastActStart = actStart;
         bank.openRow = row;
         ++statRowConflicts_;
-        power_.onActivate(p.req.cat, p.req.tenant);
+        power_.onActivate(p.req.cat, p.req.tenant, energySink_);
     }
     power_.onBurst(p.req.bytes, p.req.tagBytes, p.req.isWrite, p.req.cat,
-                   p.req.tenant);
+                   p.req.tenant, energySink_);
 
     const Cycle dataReady = casTime + timing_.toCore(timing_.scaledCAS());
     const Cycle transfer =
@@ -314,7 +331,7 @@ DramChannel::issue(Pending p)
 
     busFree_ = complete;
     busBusyCycles_ += transfer;
-    power_.onBusBusy(transfer);
+    power_.onBusBusy(transfer, energySink_);
     // CAS commands pipeline: the bank accepts the next column access
     // one burst slot after this one issued (tCCD ~= burst length),
     // so consecutive row hits stream at full bus bandwidth while the
@@ -345,10 +362,18 @@ DramChannel::issue(Pending p)
     }
 
     if (p.req.done) {
-        // The CycleFn overload passes the firing cycle (== complete)
-        // straight through: the DramDoneFn moves into a pooled event
-        // node with no wrapper closure.
-        eq_.schedule(complete, std::move(p.req.done));
+        if (completions_) {
+            // Event-domain mode: the completion cycle is known at
+            // issue time, so export it now — waiting for the event to
+            // fire on this (domain-local) queue would hand it to the
+            // frontend one epoch after it already ran that window.
+            completions_->deliver(complete, std::move(p.req.done));
+        } else {
+            // The CycleFn overload passes the firing cycle
+            // (== complete) straight through: the DramDoneFn moves
+            // into a pooled event node with no wrapper closure.
+            eq_.schedule(complete, std::move(p.req.done));
+        }
     }
 }
 
@@ -360,12 +385,19 @@ DramChannel::kick()
     // preparation of later picks overlaps earlier transfers.
     const Cycle horizon =
         eq_.now() + timing_.toCore(kReserveAheadDramCycles);
+    bool issuedAny = false;
     while (busFree_ <= horizon) {
         Pending p;
-        if (!selectNext(p))
+        if (!selectNext(p)) {
+            lastNoopKickCycle_ = issuedAny ? ~0ull : eq_.now();
             return;
+        }
         issue(std::move(p));
+        issuedAny = true;
     }
+    // Remember no-op rounds so armKick can collapse same-cycle
+    // repeats; any issue invalidates the memo (busFree_ moved).
+    lastNoopKickCycle_ = issuedAny ? ~0ull : eq_.now();
     if (!readQ_.empty() || !writeQ_.empty()) {
         // Re-arm once the reserved bus time has drained.
         armKick(busFree_ - timing_.toCore(kReserveAheadDramCycles / 2));
@@ -378,15 +410,16 @@ DramChannel::kick()
 
 DramModel::DramModel(EventQueue &eq, DramTiming timing,
                      std::uint32_t numChannels, std::string name,
-                     DramPowerParams powerParams)
+                     DramPowerParams powerParams, ChannelQueueMap *domains)
     : eq_(eq), timing_(timing), name_(std::move(name)), stats_(name_),
       power_(powerParams, timing_, numChannels, stats_)
 {
     sim_assert(numChannels > 0, "DRAM device needs >= 1 channel");
     channels_.reserve(numChannels);
     for (std::uint32_t c = 0; c < numChannels; ++c) {
+        EventQueue &chq = domains ? domains->nextChannelQueue() : eq_;
         channels_.push_back(std::make_unique<DramChannel>(
-            eq_, timing_, traffic_, power_, stats_,
+            chq, timing_, traffic_, power_, stats_,
             "ch" + std::to_string(c)));
     }
 }

@@ -43,12 +43,19 @@ struct MemSystemParams
     /** QoS channel scheduling on the in-package device (the contended
      *  tier). Off by default: the stock FR-FCFS path is untouched. */
     DramQosConfig qos;
+    /** Collapse repeated same-cycle no-op scheduler kicks on every
+     *  channel (see DramChannel::setKickCoalescing). On by default;
+     *  the off position is the A/B baseline for identity tests. */
+    bool kickCoalescing = true;
 };
 
 class MemSystem : public MemBackend
 {
   public:
-    MemSystem(EventQueue &eq, const MemSystemParams &params);
+    /** @p domains, when given, shards the DRAM channels' schedulers
+     *  across event-domain queues (sim/domain_engine.hh). */
+    MemSystem(EventQueue &eq, const MemSystemParams &params,
+              ChannelQueueMap *domains = nullptr);
 
     /** Multi-tenant runs: attach the ownership map before
      *  buildSchemes so every scheme can attribute traffic. */

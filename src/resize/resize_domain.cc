@@ -50,8 +50,19 @@ ResizeDomain::startDrain(std::function<void()> onDone)
         }
     });
 
-    engine_.start([this](PageNum page) { pinned_.erase(page); },
-                  std::move(onDone));
+    // One bump covers the activation/ownership flips the caller just
+    // made plus the pin inserts above: no demand access can interleave
+    // between the flips and here (all synchronous), so memoized
+    // mappings from before the transition are invalidated exactly
+    // once. Pin drops during the drain bump individually below.
+    ++layoutGeneration_;
+
+    engine_.start(
+        [this](PageNum page) {
+            pinned_.erase(page);
+            ++layoutGeneration_;
+        },
+        std::move(onDone));
 }
 
 void

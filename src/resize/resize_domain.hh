@@ -120,8 +120,19 @@ class ResizeDomain
     void
     notifyFrameEvicted(PageNum page)
     {
-        pinned_.erase(page);
+        if (pinned_.erase(page) > 0)
+            ++layoutGeneration_;
     }
+
+    /**
+     * Monotone counter bumped on every page->set mapping mutation:
+     * slice activation flips, slice ownership changes, pin inserts at
+     * drain start, and pin drops (drain progress or eviction). A
+     * cached (page, setOf(page)) pair is valid iff the generation it
+     * was computed under still matches — the invalidation contract the
+     * scheme's per-core mapping memo relies on.
+     */
+    std::uint64_t layoutGeneration() const { return layoutGeneration_; }
 
     MigrationEngine &engine() { return engine_; }
     const MigrationEngine &engine() const { return engine_; }
@@ -141,6 +152,7 @@ class ResizeDomain
     std::uint32_t setsPerSlice_;
     /** Pages awaiting migration -> the old set they still occupy. */
     std::unordered_map<PageNum, std::uint32_t> pinned_;
+    std::uint64_t layoutGeneration_ = 0;
 };
 
 } // namespace banshee

@@ -1,0 +1,301 @@
+#include "sim/domain_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/mem_system.hh"
+
+namespace banshee {
+
+DomainEngine::DomainEngine(EventQueue &frontend, std::uint32_t numWorkers)
+    : frontend_(frontend)
+{
+    sim_assert(numWorkers >= 1, "event domains need >= 1 worker");
+    domains_.reserve(numWorkers);
+    for (std::uint32_t d = 0; d < numWorkers; ++d)
+        domains_.push_back(std::make_unique<Domain>());
+    // Epoch barriers are microseconds apart, so waiters spin — unless
+    // the host is oversubscribed (fewer cores than threads), where
+    // spinning steals cycles from the thread doing the work and every
+    // barrier degenerates into a scheduling round trip. Yield
+    // immediately in that case.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spinLimit_ = (hw != 0 && hw < numWorkers + 1) ? 1 : 4096;
+}
+
+DomainEngine::~DomainEngine()
+{
+    stopWorkers();
+}
+
+EventQueue &
+DomainEngine::nextChannelQueue()
+{
+    EventQueue &q = domains_[nextQueue_]->eq;
+    nextQueue_ = (nextQueue_ + 1) % static_cast<std::uint32_t>(
+                                        domains_.size());
+    return q;
+}
+
+void
+DomainEngine::send(DramChannel &ch, DramRequest req)
+{
+    inbox_.push_back(Envelope{&ch, frontend_.now(), std::move(req)});
+}
+
+void
+DomainEngine::attach(MemSystem &mem)
+{
+    sim_assert(shards_.empty(), "DomainEngine::attach called twice");
+    Cycle minLat = kNoCycle;
+    auto attachDevice = [this, &minLat](DramModel *dev) {
+        if (!dev)
+            return;
+        dev->setDomainRouter(this);
+        // Lower bound on any request's completion relative to its
+        // issue cycle: complete = busStart + transfer with
+        // busStart >= casTime + toCore(scaledCAS()) and
+        // casTime >= now (see DramChannel::issue). The transfer term
+        // can be zero for a narrow request on a wide bus, so only
+        // the CAS term is counted.
+        minLat = std::min(
+            minLat, dev->timing().toCore(dev->timing().scaledCAS()));
+        for (std::uint32_t c = 0; c < dev->numChannels(); ++c) {
+            DramChannel &ch = dev->channel(c);
+            Domain *home = nullptr;
+            for (auto &d : domains_) {
+                if (&d->eq == &ch.queue()) {
+                    home = d.get();
+                    break;
+                }
+            }
+            sim_assert(home != nullptr,
+                       "channel was not built on a domain queue shard "
+                       "(pass the engine as the MemSystem's "
+                       "ChannelQueueMap)");
+            ch.setCompletionSink(&home->outbox);
+            auto shard = std::make_unique<EnergyShard>();
+            shard->device = &dev->power();
+            ch.setEnergySink(&shard->stats);
+            shards_.push_back(std::move(shard));
+        }
+    };
+    attachDevice(mem.inPkg());
+    attachDevice(mem.offPkg());
+    sim_assert(minLat != kNoCycle, "no DRAM device to shard");
+    window_ = minLat / 2;
+    sim_assert(window_ >= 1,
+               "minimum DRAM completion latency (%llu core cycles) is "
+               "too small to bound epoch skew — event domains need a "
+               "round trip of at least 2 cycles",
+               static_cast<unsigned long long>(minLat));
+}
+
+void
+DomainEngine::startWorkers()
+{
+    if (workersRunning_)
+        return;
+    workersRunning_ = true;
+    for (auto &d : domains_) {
+        Domain *dp = d.get();
+        d->thread = std::thread([this, dp] { workerLoop(*dp); });
+    }
+}
+
+void
+DomainEngine::stopWorkers()
+{
+    if (!workersRunning_)
+        return;
+    stopRequested_ = true;
+    go_.fetch_add(1, std::memory_order_release);
+    for (auto &d : domains_) {
+        if (d->thread.joinable())
+            d->thread.join();
+    }
+    workersRunning_ = false;
+    stopRequested_ = false;
+}
+
+void
+DomainEngine::workerLoop(Domain &d)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t g;
+        std::uint32_t spins = 0;
+        // Epochs are tens of cycles of simulated time — microseconds
+        // of host time — so spin first and only yield when the
+        // frontend's window runs long (or the machine is loaded).
+        while ((g = go_.load(std::memory_order_acquire)) == seen) {
+            if (++spins >= spinLimit_) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+        seen = g;
+        if (stopRequested_)
+            return;
+        if (workerLimitEnd_ > 0)
+            d.eq.run(workerLimitEnd_ - 1);
+        arrived_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+DomainEngine::releaseWorkers(Cycle limitEnd)
+{
+    workerLimitEnd_ = limitEnd;
+    go_.fetch_add(1, std::memory_order_release);
+}
+
+void
+DomainEngine::waitWorkers()
+{
+    const std::uint32_t n = numWorkers();
+    std::uint32_t spins = 0;
+    while (arrived_.load(std::memory_order_acquire) < n) {
+        if (++spins >= spinLimit_) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+    arrived_.store(0, std::memory_order_relaxed);
+}
+
+void
+DomainEngine::exchange(Cycle channelWindowStart, Cycle frontendWindowStart)
+{
+    // Frontend pushes -> channel domain queues, in frontend execution
+    // order (same-cycle envelopes for one channel keep FIFO order on
+    // its queue). The skew contract: the channel domains are about to
+    // run the window starting at @p channelWindowStart, so no
+    // envelope may target an earlier cycle.
+    for (Envelope &e : inbox_) {
+        sim_assert(e.when >= channelWindowStart,
+                   "cross-domain request targets its channel's past "
+                   "(send %llu < window start %llu)",
+                   static_cast<unsigned long long>(e.when),
+                   static_cast<unsigned long long>(channelWindowStart));
+        DramChannel *ch = e.ch;
+        ch->queue().schedule(
+            e.when, [ch, r = std::move(e.req)](Cycle) mutable {
+                ch->push(std::move(r));
+            });
+    }
+    inbox_.clear();
+
+    // Channel completions -> frontend queue, merged in deterministic
+    // (cycle, domain, issue-order) order. A completion recorded in
+    // the channels' just-finished window is at least 2W after that
+    // window's start, i.e. no earlier than the frontend's next
+    // window at @p frontendWindowStart.
+    mergeScratch_.clear();
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+        auto &items = domains_[d]->outbox.items;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            mergeScratch_.push_back(
+                MergeRef{items[i].when, static_cast<std::uint32_t>(d),
+                         static_cast<std::uint32_t>(i)});
+        }
+    }
+    std::sort(mergeScratch_.begin(), mergeScratch_.end(),
+              [](const MergeRef &a, const MergeRef &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.index < b.index;
+              });
+    for (const MergeRef &m : mergeScratch_) {
+        Domain::Completion &c = domains_[m.domain]->outbox.items[m.index];
+        sim_assert(c.when >= frontendWindowStart,
+                   "cross-domain completion targets the frontend's past "
+                   "(complete %llu < window start %llu)",
+                   static_cast<unsigned long long>(c.when),
+                   static_cast<unsigned long long>(frontendWindowStart));
+        frontend_.schedule(c.when, std::move(c.fn));
+    }
+    for (auto &d : domains_)
+        d->outbox.items.clear();
+}
+
+void
+DomainEngine::runPhase(const std::function<bool()> &done)
+{
+    sim_assert(window_ > 0, "DomainEngine::attach was not called");
+    startWorkers();
+    // Phase boundaries schedule restart work (core kicks, fresh
+    // instruction limits) at the frontend's current cycle, which lies
+    // inside the window the frontend ran last. Step the pipeline back
+    // one window so that work executes in a window that covers its
+    // cycle. Safe on both sides: the frontend queue holds no
+    // already-executed events, and the channel domains have executed
+    // only up to that window's start, so nothing is delivered into
+    // their past.
+    if (nextFrontendWindow_ > 0)
+        --nextFrontendWindow_;
+    while (!done()) {
+        const Cycle cEnd =
+            static_cast<Cycle>(nextFrontendWindow_) * window_;
+        const Cycle fEnd = cEnd + window_;
+        // Workers run window k-1 (events < cEnd) while the frontend
+        // runs window k (events < fEnd) — the stagger-1 pipeline.
+        releaseWorkers(cEnd);
+        frontend_.run(fEnd - 1);
+        waitWorkers();
+        exchange(cEnd, fEnd);
+        ++nextFrontendWindow_;
+        ++epochs_;
+        if (done())
+            break;
+
+        // Idle fast-forward: if the next event anywhere is beyond the
+        // upcoming windows, jump the pipeline to it instead of
+        // spinning through empty epochs. The channel domains (one
+        // window behind) bound the jump: the new frontend window must
+        // stay one ahead of the earliest channel-domain event.
+        const Cycle mF = frontend_.nextEventCycle();
+        Cycle mD = kNoCycle;
+        for (auto &d : domains_)
+            mD = std::min(mD, d->eq.nextEventCycle());
+        sim_assert(mF != kNoCycle || mD != kNoCycle,
+                   "all event queues drained with the phase "
+                   "unfinished — a memory response was lost");
+        const std::uint64_t fCand =
+            mF == kNoCycle ? ~0ull : mF / window_;
+        const std::uint64_t dCand =
+            mD == kNoCycle ? ~0ull : mD / window_ + 1;
+        const std::uint64_t target = std::min(fCand, dCand);
+        if (target > nextFrontendWindow_)
+            nextFrontendWindow_ = target;
+    }
+}
+
+void
+DomainEngine::mergeEnergy()
+{
+    for (auto &s : shards_) {
+        s->device->absorb(s->stats);
+        s->stats.reset();
+    }
+}
+
+void
+DomainEngine::resetEnergyShards()
+{
+    for (auto &s : shards_)
+        s->stats.reset();
+}
+
+std::uint64_t
+DomainEngine::domainEventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->eq.eventsExecuted();
+    return n;
+}
+
+} // namespace banshee

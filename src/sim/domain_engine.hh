@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Intra-system event domains: parallel execution of one System's
+ * event queue split into a frontend domain (cores, SRAM hierarchy,
+ * TLBs, OS, schemes) and one or more DRAM-channel domains, each with
+ * its own EventQueue shard driven by a worker thread.
+ *
+ * Synchronization is an epoch-barrier pipeline with bounded skew.
+ * Simulated time is cut into fixed windows of W cycles, where
+ * 2W <= the minimum DRAM completion latency (a request issued at
+ * cycle t completes no earlier than t + toCore(scaledCAS()), see
+ * DramChannel::issue). The frontend runs window k while the channel
+ * domains run window k-1; at the barrier between epochs the frontend
+ * thread — alone, so no locks — exchanges the two mailbox directions:
+ *
+ *  - requests the frontend pushed during window k are scheduled onto
+ *    their channel's domain queue at the exact send cycle (the
+ *    domain is about to run window k, so nothing lands in its past);
+ *  - completions the channels recorded during window k-1 are merged
+ *    in deterministic (cycle, domain, issue-order) order onto the
+ *    frontend queue. A completion of a request issued in window k-1
+ *    is at earliest (k-1)W + 2W = (k+1)W — exactly the start of the
+ *    window the frontend runs next, so no completion can arrive in
+ *    the frontend's past either. Both bounds are sim_assert'ed.
+ *
+ * Determinism: each domain runs single-threaded over deterministic
+ * inputs delivered in a deterministic order, so simulated results
+ * are bit-reproducible for a fixed domain count. Different domain
+ * counts (including 1, the serial engine) are different — equally
+ * valid — interleavings of same-cycle events. With the engine off
+ * (SystemConfig::intraDomains == 1) none of these hooks are
+ * installed and behavior is byte-identical to the serial engine.
+ */
+
+#ifndef BANSHEE_SIM_DOMAIN_ENGINE_HH
+#define BANSHEE_SIM_DOMAIN_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "dram/dram_model.hh"
+#include "power/energy_stats.hh"
+
+namespace banshee {
+
+class MemSystem;
+
+class DomainEngine : public ChannelQueueMap, public DramDomainRouter
+{
+  public:
+    /** @p numWorkers channel domains (>= 1); channels are assigned
+     *  round-robin in construction order via nextChannelQueue(). */
+    DomainEngine(EventQueue &frontend, std::uint32_t numWorkers);
+    ~DomainEngine() override;
+
+    DomainEngine(const DomainEngine &) = delete;
+    DomainEngine &operator=(const DomainEngine &) = delete;
+
+    // ChannelQueueMap (used during MemSystem construction).
+    EventQueue &nextChannelQueue() override;
+
+    // DramDomainRouter: frontend-side push -> mailbox envelope.
+    void send(DramChannel &ch, DramRequest req) override;
+
+    /**
+     * Wire the engine to the constructed memory system: install the
+     * request router on both devices, attach a completion sink and a
+     * private energy shard to every channel, and derive the epoch
+     * width from the fastest device's minimum completion latency.
+     */
+    void attach(MemSystem &mem);
+
+    /**
+     * Run one simulation phase: the epoch-barrier loop described in
+     * the file comment, until @p done() (checked on the frontend
+     * thread at each epoch boundary) returns true. Queues and epoch
+     * counters persist across phases, mirroring how the serial
+     * engine leaves queued events in place at a phase boundary.
+     */
+    void runPhase(const std::function<bool()> &done);
+
+    /** Fold the per-channel energy shards into their device models
+     *  in fixed channel order (call between phases / before stats
+     *  collection — the workers are quiescent at the barrier). */
+    void mergeEnergy();
+
+    /** Zero the per-channel energy shards (warmup boundary). */
+    void resetEnergyShards();
+
+    std::uint32_t numWorkers() const
+    {
+        return static_cast<std::uint32_t>(domains_.size());
+    }
+
+    /** Epoch window width W in core cycles (valid after attach). */
+    Cycle epochCycles() const { return window_; }
+
+    /** Barrier round-trips completed (across all phases). */
+    std::uint64_t epochsRun() const { return epochs_; }
+
+    /** Events executed on the channel-domain queues (for host-perf
+     *  accounting next to the frontend queue's own counter). */
+    std::uint64_t domainEventsExecuted() const;
+
+  private:
+    /** One channel domain: queue shard + completion outbox + the
+     *  channels whose schedulers live here. */
+    struct Domain
+    {
+        /** Completion outbox: appended by this domain's thread in
+         *  execution order, drained by the frontend at the barrier. */
+        struct Completion
+        {
+            Cycle when = 0;
+            DramDoneFn fn;
+        };
+
+        struct Sink : DramCompletionSink
+        {
+            std::vector<Completion> items;
+
+            void
+            deliver(Cycle when, DramDoneFn fn) override
+            {
+                items.push_back(Completion{when, std::move(fn)});
+            }
+        };
+
+        EventQueue eq;
+        Sink outbox;
+        std::thread thread;
+    };
+
+    /** A frontend push bound for an out-of-domain channel. */
+    struct Envelope
+    {
+        DramChannel *ch = nullptr;
+        Cycle when = 0;
+        DramRequest req;
+    };
+
+    /** A channel's energy shard and the device model it folds into. */
+    struct EnergyShard
+    {
+        EnergyStats stats;
+        DramPowerModel *device = nullptr;
+    };
+
+    void startWorkers();
+    void stopWorkers();
+    void workerLoop(Domain &d);
+
+    /** Release the workers to run events below @p limitEnd. */
+    void releaseWorkers(Cycle limitEnd);
+    void waitWorkers();
+
+    /** Deliver both mailbox directions (frontend thread, all other
+     *  threads parked at the barrier). @p channelWindowStart is the
+     *  start of the window the channel domains run next and
+     *  @p frontendWindowStart the start of the frontend's next
+     *  window — the two no-message-in-the-past skew bounds. */
+    void exchange(Cycle channelWindowStart, Cycle frontendWindowStart);
+
+    /** Sort key for the deterministic completion merge: completion
+     *  cycle, then domain id, then the domain's append order. */
+    struct MergeRef
+    {
+        Cycle when;
+        std::uint32_t domain;
+        std::uint32_t index;
+    };
+
+    EventQueue &frontend_;
+    std::vector<std::unique_ptr<Domain>> domains_;
+    std::vector<std::unique_ptr<EnergyShard>> shards_;
+    std::vector<Envelope> inbox_;
+    std::vector<MergeRef> mergeScratch_;
+
+    Cycle window_ = 0;              ///< W (set by attach)
+    std::uint64_t nextFrontendWindow_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::uint32_t nextQueue_ = 0;   ///< round-robin assignment cursor
+    std::uint32_t spinLimit_ = 4096; ///< 1 on oversubscribed hosts
+    bool workersRunning_ = false;
+
+    // Sense-reversing release/arrive barrier. The payload fields are
+    // plain: they are written by the frontend before the go_ release
+    // store and read by workers after the acquire load (and vice
+    // versa through arrived_).
+    std::atomic<std::uint64_t> go_{0};
+    std::atomic<std::uint32_t> arrived_{0};
+    Cycle workerLimitEnd_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace banshee
+
+#endif // BANSHEE_SIM_DOMAIN_ENGINE_HH

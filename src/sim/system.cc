@@ -10,6 +10,7 @@
 #include "schemes/simple.hh"
 #include "schemes/tdc.hh"
 #include "schemes/unison.hh"
+#include "sim/domain_engine.hh"
 #include "telemetry/span_trace.hh"
 #include "telemetry/telemetry.hh"
 #include "workload/workloads.hh"
@@ -156,10 +157,45 @@ System::System(const SystemConfig &config) : config_(config)
                    "resize tenant weights do not match the tenant list");
     }
 
+    // Intra-system event domains: the frontend (everything below)
+    // stays on eq_; the DRAM channels are sharded across worker
+    // domains. Features that read state across the domain boundary
+    // mid-run are rejected up front rather than racing silently.
+    if (config.intraDomains > 1) {
+        sim_assert(!config.telemetry.enabled && !config.spans.enabled,
+                   "intraDomains > 1 is incompatible with telemetry "
+                   "and span tracing (hooks sample channel state "
+                   "across the domain boundary)");
+        sim_assert(!config.mem.qos.enabled,
+                   "intraDomains > 1 is incompatible with the QoS "
+                   "channel scheduler (per-device grant/defer "
+                   "accounting is shared across channels)");
+        sim_assert(!config.enableBatman,
+                   "intraDomains > 1 is incompatible with Batman "
+                   "(it samples channel queues mid-run)");
+        sim_assert(!config.resize.enabled ||
+                       (config.resize.policy.kind !=
+                            ResizePolicyConfig::Kind::PowerCap &&
+                        config.resize.policy.kind !=
+                            ResizePolicyConfig::Kind::Qos),
+                   "intraDomains > 1 is incompatible with power-fed "
+                   "resize policies (channel energy lands in domain "
+                   "shards until the run quiesces)");
+        const std::uint32_t totalChannels =
+            (config.mem.hasInPkg ? config.mem.numMcs : 0) +
+            (config.mem.hasOffPkg ? config.mem.numOffPkgChannels : 0);
+        sim_assert(totalChannels > 0,
+                   "intraDomains > 1 needs at least one DRAM channel");
+        engine_ = std::make_unique<DomainEngine>(
+            eq_, std::min(config.intraDomains - 1, totalChannels));
+    }
+
     pageTable_ = std::make_unique<PageTableManager>();
     os_ = std::make_unique<OsServices>(eq_, *pageTable_, config.osCosts,
                                        config.seed);
-    mem_ = std::make_unique<MemSystem>(eq_, config.mem);
+    mem_ = std::make_unique<MemSystem>(eq_, config.mem, engine_.get());
+    if (engine_)
+        engine_->attach(*mem_);
     if (tenants_)
         mem_->setTenantMap(tenants_.get());
 
@@ -442,7 +478,10 @@ System::runPhase(std::uint64_t instrLimit)
         core->setInstrLimit(instrLimit);
         core->start();
     }
-    {
+    if (engine_) {
+        engine_->runPhase(
+            [this] { return parkedCount_ == config_.numCores; });
+    } else {
         ScopedTimer profile(
             telemetry_ ? telemetry_->timer("host.eventQueue") : nullptr);
         eq_.run();
@@ -456,6 +495,8 @@ System::runPhase(std::uint64_t instrLimit)
 void
 System::resetAllStats()
 {
+    if (engine_)
+        engine_->resetEnergyShards();
     mem_->resetStats();
     hierarchy_->resetStats();
     os_->stats().reset();
@@ -519,7 +560,20 @@ System::run()
 
     runPhase(config_.warmupInstrPerCore + config_.measureInstrPerCore);
 
+    // Event-domain runs: fold the channels' energy shards back into
+    // their device models (the workers are quiescent at the barrier)
+    // so collect() sees whole-device energy as usual.
+    if (engine_)
+        engine_->mergeEnergy();
+
     return collect(startCycle, startInstr, startGlobal);
+}
+
+std::uint64_t
+System::totalEventsExecuted() const
+{
+    return eq_.eventsExecuted() +
+           (engine_ ? engine_->domainEventsExecuted() : 0);
 }
 
 RunResult

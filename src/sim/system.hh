@@ -36,7 +36,8 @@
 
 namespace banshee {
 
-class Telemetry; // telemetry/telemetry.hh
+class Telemetry;    // telemetry/telemetry.hh
+class DomainEngine; // sim/domain_engine.hh
 
 /** One tenant's share of a multi-tenant run's measured statistics. */
 struct TenantRunStats
@@ -178,6 +179,14 @@ class System
     /** Telemetry façade, or nullptr when telemetry is disabled. */
     Telemetry *telemetry() { return telemetry_.get(); }
 
+    /** Intra-system event-domain engine, or nullptr when
+     *  config.intraDomains == 1 (the serial engine). */
+    DomainEngine *domainEngine() { return engine_.get(); }
+
+    /** Events executed across every queue this system owns: the
+     *  frontend queue plus any channel-domain shards. */
+    std::uint64_t totalEventsExecuted() const;
+
     /** Span-trace journal, or nullptr when tracing is disabled. */
     PageJournal *spanTrace() { return spans_.get(); }
 
@@ -200,6 +209,9 @@ class System
 
     SystemConfig config_;
     EventQueue eq_;
+    /** Declared right after eq_ (and before mem_) so the channel
+     *  domains' queues outlive the channels scheduled on them. */
+    std::unique_ptr<DomainEngine> engine_;
     std::unique_ptr<TenantMap> tenants_;
     std::unique_ptr<PageTableManager> pageTable_;
     std::unique_ptr<OsServices> os_;

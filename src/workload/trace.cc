@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 #include "common/log.hh"
 
@@ -74,9 +76,14 @@ readTrace(const std::string &path)
 }
 
 TracePattern::TracePattern(std::vector<TraceRecord> records)
-    : records_(std::move(records))
+    : TracePattern(std::make_shared<const std::vector<TraceRecord>>(
+          std::move(records)))
 {
-    sim_assert(!records_.empty(), "empty trace");
+}
+
+TracePattern::TracePattern(Buffer records) : records_(std::move(records))
+{
+    sim_assert(records_ != nullptr && !records_->empty(), "empty trace");
 }
 
 std::unique_ptr<TracePattern>
@@ -85,11 +92,55 @@ TracePattern::fromFile(const std::string &path)
     return std::make_unique<TracePattern>(readTrace(path));
 }
 
+namespace {
+
+/** Process-wide cache of loaded trace buffers, keyed by path. The
+ *  mutex covers only load/lookup — replay touches the immutable
+ *  buffer lock-free. Entries are weak so dropUnusedCachedTraces can
+ *  tell live buffers from dead ones. */
+std::mutex traceCacheMutex;
+std::map<std::string, std::shared_ptr<const std::vector<TraceRecord>>>
+    traceCache;
+
+} // namespace
+
+std::unique_ptr<TracePattern>
+TracePattern::sharedFromFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(traceCacheMutex);
+    auto it = traceCache.find(path);
+    if (it == traceCache.end()) {
+        it = traceCache
+                 .emplace(path,
+                          std::make_shared<const std::vector<TraceRecord>>(
+                              readTrace(path)))
+                 .first;
+    }
+    return std::make_unique<TracePattern>(it->second);
+}
+
+std::size_t
+TracePattern::dropUnusedCachedTraces()
+{
+    std::lock_guard<std::mutex> lock(traceCacheMutex);
+    std::size_t dropped = 0;
+    for (auto it = traceCache.begin(); it != traceCache.end();) {
+        // use_count == 1 means only the cache holds the buffer.
+        if (it->second.use_count() == 1) {
+            it = traceCache.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
 MemOp
 TracePattern::next(Rng &)
 {
-    const TraceRecord &r = records_[pos_];
-    pos_ = (pos_ + 1) % records_.size();
+    const TraceRecord &r = (*records_)[pos_];
+    pos_ = (pos_ + 1) % records_->size();
     MemOp op;
     op.addr = r.addr;
     op.isWrite = r.flags & TraceRecord::kWrite;

@@ -16,6 +16,7 @@
 #define BANSHEE_WORKLOAD_TRACE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,21 +41,47 @@ bool writeTrace(const std::string &path,
 /** Read a trace file; throws via fatal() on malformed input. */
 std::vector<TraceRecord> readTrace(const std::string &path);
 
-/** Replays a trace cyclically as an AccessPattern. */
+/**
+ * Replays a trace cyclically as an AccessPattern.
+ *
+ * The records live behind a shared immutable buffer: every core (and
+ * every experiment in a sweep) replaying the same file shares one
+ * in-memory copy through sharedFromFile, each instance holding only
+ * its own cursor. A 64-core run over a multi-GB trace costs one load
+ * and one buffer, not 64.
+ */
 class TracePattern : public AccessPattern
 {
   public:
-    explicit TracePattern(std::vector<TraceRecord> records);
+    using Buffer = std::shared_ptr<const std::vector<TraceRecord>>;
 
-    /** Convenience: load from file. */
+    explicit TracePattern(std::vector<TraceRecord> records);
+    explicit TracePattern(Buffer records);
+
+    /** Convenience: load from file (private buffer, no cache). */
     static std::unique_ptr<TracePattern> fromFile(const std::string &path);
+
+    /**
+     * Load @p path once per process and share the immutable record
+     * buffer across all patterns replaying it (thread-safe — sweep
+     * workers build Systems concurrently).
+     */
+    static std::unique_ptr<TracePattern>
+    sharedFromFile(const std::string &path);
+
+    /** Drop cached buffers not referenced by any live pattern;
+     *  returns how many were evicted (testing / long-lived hosts). */
+    static std::size_t dropUnusedCachedTraces();
 
     MemOp next(Rng &rng) override;
 
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const { return records_->size(); }
+
+    /** The underlying shared buffer (tests assert sharing). */
+    const Buffer &buffer() const { return records_; }
 
   private:
-    std::vector<TraceRecord> records_;
+    Buffer records_;
     std::size_t pos_ = 0;
 };
 

@@ -310,8 +310,10 @@ WorkloadFactory::create(const std::string &name, CoreId core,
                         std::uint32_t numCores, double footprintScale)
 {
     // "trace:<path>" replays a recorded trace file on every core.
+    // The file is loaded once per process and its immutable record
+    // buffer shared; each core gets its own replay cursor.
     if (name.rfind("trace:", 0) == 0)
-        return TracePattern::fromFile(name.substr(6));
+        return TracePattern::sharedFromFile(name.substr(6));
     if (const auto *list = mixList(name)) {
         const std::string &bench = (*list)[core % list->size()];
         auto p = makeSpec(bench, core, footprintScale);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/banshee.hh"
+#include "resize/resize_domain.hh"
 #include "scheme_harness.hh"
 
 namespace banshee {
@@ -300,6 +301,65 @@ TEST(BansheeScheme, CapacityLossDecayHalvesCountersOnlyWhenEnabled)
         EXPECT_TRUE(dir.cached(0, 0).valid);
         EXPECT_TRUE(dir.cached(1, 2).dirty);
     }
+}
+
+// ------------------------------------------------------------------
+// Per-core mapping memo (setOfMemo)
+// ------------------------------------------------------------------
+
+TEST(BansheeScheme, MappingMemoHitsOnRepeatAndIsPerCore)
+{
+    SchemeHarness h;
+    BansheeScheme s(h.ctx, neverSample());
+    const PageNum p1 = 0x100, p2 = 0x200;
+
+    const std::uint32_t set1 = s.setOfMemo(p1, /*core=*/0);
+    EXPECT_EQ(s.setMemoHits(), 0u);
+    EXPECT_EQ(s.setOfMemo(p1, 0), set1);
+    EXPECT_EQ(s.setMemoHits(), 1u);
+
+    // Depth-1 MRU: a different page evicts the entry...
+    s.setOfMemo(p2, 0);
+    EXPECT_EQ(s.setOfMemo(p1, 0), set1); // recomputed, still correct
+    EXPECT_EQ(s.setMemoHits(), 1u);
+
+    // ...but another core's entry is independent of core 0's churn.
+    EXPECT_EQ(s.setOfMemo(p1, 1), set1);
+    EXPECT_EQ(s.setOfMemo(p1, 1), set1);
+    EXPECT_EQ(s.setMemoHits(), 2u);
+}
+
+TEST(BansheeScheme, MappingMemoInvalidatesOnResizeCommit)
+{
+    SchemeHarness h;
+    BansheeScheme s(h.ctx, neverSample());
+    ResizeConfig rc;
+    rc.enabled = true;
+    ResizeDomain dom(h.eq, s, rc, "rd");
+    s.attachResizeDomain(&dom);
+
+    const PageNum page = 0x42;
+    const std::uint32_t before = s.setOfMemo(page, 0);
+    EXPECT_EQ(s.setOfMemo(page, 0), before);
+    EXPECT_EQ(s.setMemoHits(), 1u);
+
+    // Shrink one slice (empty cache: the drain completes inline).
+    const std::uint64_t gen = dom.layoutGeneration();
+    bool done = false;
+    dom.resizeTo(dom.activeSlices() - 1, [&done] { done = true; });
+    h.drain();
+    ASSERT_TRUE(done);
+    EXPECT_GT(dom.layoutGeneration(), gen);
+
+    // The next lookup must recompute against the new layout, not
+    // serve the pre-resize entry.
+    const std::uint64_t hits = s.setMemoHits();
+    const std::uint32_t after = s.setOfMemo(page, 0);
+    EXPECT_EQ(s.setMemoHits(), hits);
+    EXPECT_EQ(after, s.setOf(page));
+    // And the refreshed entry hits again under the new generation.
+    EXPECT_EQ(s.setOfMemo(page, 0), after);
+    EXPECT_EQ(s.setMemoHits(), hits + 1);
 }
 
 } // namespace

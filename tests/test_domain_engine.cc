@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the intra-system event-domain engine
+ * (sim/domain_engine.hh):
+ *
+ *  - the deterministic completion merge: same-cycle completions from
+ *    different channel domains reach the frontend in (cycle, domain,
+ *    issue-order) order regardless of the order the frontend sent the
+ *    requests;
+ *  - the skew contract: every parallel run exercises the
+ *    no-message-in-the-past sim_asserts in DomainEngine::exchange, so
+ *    any of these tests aborting means a message targeted a past
+ *    cycle;
+ *  - bit-reproducibility: two runs of the same configuration at the
+ *    same domain count produce identical results, field for field;
+ *  - engine bookkeeping: worker count, epoch counter, and the
+ *    cross-queue event totals the benches report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "dram/dram_model.hh"
+#include "mem/mem_system.hh"
+#include "sim/domain_engine.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+
+namespace banshee {
+namespace {
+
+// ------------------------------------------------------------------
+// Deterministic merge on a bare MemSystem
+// ------------------------------------------------------------------
+
+/** Four in-package channels over two domains (round-robin: channels
+ *  0 and 2 on domain 0, channels 1 and 3 on domain 1). */
+struct EngineHarness
+{
+    EventQueue frontend;
+    DomainEngine engine{frontend, 2};
+    MemSystem mem;
+
+    EngineHarness() : mem(frontend, params(), &engine)
+    {
+        engine.attach(mem);
+    }
+
+    static MemSystemParams
+    params()
+    {
+        MemSystemParams p;
+        p.numMcs = 4;
+        p.hasOffPkg = false;
+        return p;
+    }
+};
+
+std::vector<int>
+runSameCycleCompletions()
+{
+    EngineHarness h;
+    std::vector<int> order;
+
+    // One frontend event issues identical reads to channel 1 *then*
+    // channel 0. Identical timing means identical completion cycles;
+    // the merge must order them by domain id (channel 0 lives on
+    // domain 0), not by send order.
+    h.frontend.schedule(100, [&](Cycle) {
+        for (int ch : {1, 0}) {
+            DramRequest req;
+            req.addr = 0;
+            req.bytes = 64;
+            req.done = [&order, ch](Cycle) { order.push_back(ch); };
+            h.mem.inPkg()->access(static_cast<std::uint32_t>(ch),
+                                  std::move(req));
+        }
+    });
+    // A later read on channel 2 (also domain 0) must stay behind both.
+    h.frontend.schedule(5000, [&](Cycle) {
+        DramRequest req;
+        req.addr = 0;
+        req.bytes = 64;
+        req.done = [&order](Cycle) { order.push_back(2); };
+        h.mem.inPkg()->access(2, std::move(req));
+    });
+
+    h.engine.runPhase([&order] { return order.size() == 3; });
+    return order;
+}
+
+TEST(DomainEngine, SameCycleCompletionsMergeInDomainOrder)
+{
+    const std::vector<int> order = runSameCycleCompletions();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0); // domain 0 beats domain 1 at equal cycles
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+}
+
+TEST(DomainEngine, MergeOrderIsReproducible)
+{
+    EXPECT_EQ(runSameCycleCompletions(), runSameCycleCompletions());
+}
+
+TEST(DomainEngine, SameChannelKeepsIssueOrder)
+{
+    EngineHarness h;
+    std::vector<int> order;
+
+    // Two same-cycle reads to one channel: the second queues behind
+    // the first in the bank scheduler, and the merge's append-order
+    // key keeps equal-cycle exports stable.
+    h.frontend.schedule(60, [&](Cycle) {
+        for (int i = 0; i < 2; ++i) {
+            DramRequest req;
+            req.addr = static_cast<Addr>(i) * 64;
+            req.bytes = 64;
+            req.done = [&order, i](Cycle) { order.push_back(i); };
+            h.mem.inPkg()->access(0, std::move(req));
+        }
+    });
+
+    h.engine.runPhase([&order] { return order.size() == 2; });
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(DomainEngine, EpochWindowRespectsSkewBound)
+{
+    EngineHarness h;
+    const DramTiming t;
+    // 2W must not exceed the minimum completion latency, or a
+    // completion could land in the frontend's past.
+    EXPECT_GE(t.toCore(t.scaledCAS()), 2 * h.engine.epochCycles());
+    EXPECT_GE(h.engine.epochCycles(), 1u);
+}
+
+// ------------------------------------------------------------------
+// Full-system runs
+// ------------------------------------------------------------------
+
+SystemConfig
+parallelConfig(std::uint32_t domains)
+{
+    SystemConfig c = SystemConfig::testDefault();
+    c.withScheme(SchemeKind::Banshee).withIntraDomains(domains);
+    return c;
+}
+
+TEST(DomainEngine, SerialConfigInstallsNoEngine)
+{
+    System system(SystemConfig::testDefault());
+    EXPECT_EQ(system.domainEngine(), nullptr);
+}
+
+TEST(DomainEngine, ParallelRunCompletesAndCountsDomainEvents)
+{
+    System system(parallelConfig(3));
+    ASSERT_NE(system.domainEngine(), nullptr);
+    // 3 domains = frontend + 2 channel workers (5 channels exist).
+    EXPECT_EQ(system.domainEngine()->numWorkers(), 2u);
+
+    const RunResult r = system.run();
+    const SystemConfig &c = system.config();
+    // Cores retire in bursts, so the measured count may overshoot the
+    // per-core limit by a few instructions.
+    EXPECT_GE(r.instructions, c.measureInstrPerCore * c.numCores);
+    EXPECT_LT(r.instructions,
+              (c.measureInstrPerCore + 100) * c.numCores);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(system.domainEngine()->epochsRun(), 0u);
+    EXPECT_GT(system.domainEngine()->domainEventsExecuted(), 0u);
+    EXPECT_GT(system.totalEventsExecuted(),
+              system.eventQueue().eventsExecuted());
+}
+
+TEST(DomainEngine, WorkerCountCapsAtChannelCount)
+{
+    // 4 in-package + 1 off-package channels: domains beyond 5 workers
+    // would own no channel and are clamped away.
+    System system(parallelConfig(32));
+    ASSERT_NE(system.domainEngine(), nullptr);
+    EXPECT_EQ(system.domainEngine()->numWorkers(), 5u);
+}
+
+/** Field-for-field comparison of everything a run measures. */
+void
+expectBitEqual(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc); // exact double equality, not near
+    EXPECT_EQ(a.dramCacheAccesses, b.dramCacheAccesses);
+    EXPECT_EQ(a.dramCacheMisses, b.dramCacheMisses);
+    EXPECT_EQ(a.missRate, b.missRate);
+    EXPECT_EQ(a.mpki, b.mpki);
+    EXPECT_EQ(a.llcMpki, b.llcMpki);
+    EXPECT_EQ(a.inPkgBytes, b.inPkgBytes);
+    EXPECT_EQ(a.offPkgBytes, b.offPkgBytes);
+    EXPECT_EQ(a.inPkgDynPJ, b.inPkgDynPJ);
+    EXPECT_EQ(a.offPkgDynPJ, b.offPkgDynPJ);
+    EXPECT_EQ(a.inPkgBackgroundPJ, b.inPkgBackgroundPJ);
+    EXPECT_EQ(a.inPkgRefreshPJ, b.inPkgRefreshPJ);
+    EXPECT_EQ(a.totalEnergyPJ(), b.totalEnergyPJ());
+    EXPECT_EQ(a.inPkgBusUtil, b.inPkgBusUtil);
+    EXPECT_EQ(a.offPkgBusUtil, b.offPkgBusUtil);
+    EXPECT_EQ(a.avgFetchLatency, b.avgFetchLatency);
+    EXPECT_EQ(a.tagBufferHits, b.tagBufferHits);
+    EXPECT_EQ(a.tagBufferMisses, b.tagBufferMisses);
+    EXPECT_EQ(a.pteUpdateRuns, b.pteUpdateRuns);
+    EXPECT_EQ(a.tlbShootdowns, b.tlbShootdowns);
+}
+
+TEST(DomainEngine, RepeatedRunsAreBitEqual)
+{
+    const SystemConfig c = parallelConfig(3);
+    System first(c);
+    System second(c);
+    expectBitEqual(first.run(), second.run());
+}
+
+TEST(DomainEngine, ParallelResizeRunIsBitEqual)
+{
+    // Scripted resize crosses the domain boundary through the routed
+    // bulk-migration path; it must stay deterministic too.
+    SystemConfig c = parallelConfig(2);
+    c.withResizeStep(2, 8);
+    System first(c);
+    System second(c);
+    expectBitEqual(first.run(), second.run());
+}
+
+} // namespace
+} // namespace banshee

@@ -171,6 +171,60 @@ class FakeHost : public ResizeHost
     void verifyResidencyConsistent() override {}
 };
 
+TEST(ResizeDomain, LayoutGenerationBumpsOnResizeAndPinDrops)
+{
+    EventQueue eq;
+    FakeHost host;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        host.frames[{i, 0}] = FakeHost::Frame{100 + i, false};
+
+    ResizeConfig rc;
+    rc.enabled = true;
+    ResizeDomain dom(eq, host, rc, "d");
+    const std::uint64_t g0 = dom.layoutGeneration();
+
+    bool done = false;
+    dom.resizeTo(dom.activeSlices() - 1, [&done] { done = true; });
+    // The activation flip + pin inserts invalidate stale mappings
+    // before any drain work runs.
+    const std::uint64_t gStart = dom.layoutGeneration();
+    EXPECT_GT(gStart, g0);
+
+    eq.run();
+    ASSERT_TRUE(done);
+    // Every drained pin bumps again so memoized pinned mappings die
+    // the moment the page's frame is reclaimed.
+    EXPECT_GE(dom.layoutGeneration(), gStart);
+    EXPECT_FALSE(dom.migrationActive());
+}
+
+TEST(ResizeDomain, EvictionOfPinnedPageBumpsGeneration)
+{
+    EventQueue eq;
+    FakeHost host;
+    host.frames[{0, 0}] = FakeHost::Frame{100, false};
+
+    ResizeConfig rc;
+    rc.enabled = true;
+    ResizeDomain dom(eq, host, rc, "d");
+
+    // No pin: eviction notifications are generation-neutral.
+    const std::uint64_t g0 = dom.layoutGeneration();
+    dom.notifyFrameEvicted(100);
+    EXPECT_EQ(dom.layoutGeneration(), g0);
+
+    // Pin the page by starting a flush-style drain that cannot make
+    // progress (tag buffer full), then evict it out from under the
+    // migration: the pin drop must invalidate memoized mappings.
+    host.allowEvict = false;
+    rc.strategy = ResizeStrategy::FlushAll;
+    ResizeDomain flushDom(eq, host, rc, "d2");
+    flushDom.resizeTo(flushDom.activeSlices() - 1, [] {});
+    const std::uint64_t g1 = flushDom.layoutGeneration();
+    flushDom.notifyFrameEvicted(100);
+    EXPECT_GT(flushDom.layoutGeneration(), g1);
+}
+
 TEST(MigrationEngine, DrainsInRateLimitedBatches)
 {
     EventQueue eq;

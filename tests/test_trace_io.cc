@@ -165,5 +165,45 @@ TEST_F(TraceIoTest, WriteToUnwritablePathReturnsFalse)
     EXPECT_FALSE(writeTrace("/nonexistent-dir/x/y/trace.bshtrc", {}));
 }
 
+TEST_F(TraceIoTest, SharedLoadSharesOneBufferWithIndependentCursors)
+{
+    std::vector<TraceRecord> records(3);
+    records[0].addr = 0x1000;
+    records[1].addr = 0x2000;
+    records[2].addr = 0x3000;
+    ASSERT_TRUE(writeTrace(path_, records));
+
+    // Two "cores" replaying the same file share one in-memory buffer.
+    auto core0 = TracePattern::sharedFromFile(path_);
+    auto core1 = TracePattern::sharedFromFile(path_);
+    EXPECT_EQ(core0->buffer().get(), core1->buffer().get());
+
+    // ...but advance independently: core0 runs ahead, core1 must
+    // still see the trace from the top.
+    Rng rng(1);
+    EXPECT_EQ(core0->next(rng).addr, 0x1000u);
+    EXPECT_EQ(core0->next(rng).addr, 0x2000u);
+    EXPECT_EQ(core1->next(rng).addr, 0x1000u);
+    EXPECT_EQ(core0->next(rng).addr, 0x3000u);
+    EXPECT_EQ(core1->next(rng).addr, 0x2000u);
+
+    // Dropping both patterns leaves only the cache's reference; the
+    // eviction sweep reclaims it. While either lives, it must not.
+    EXPECT_EQ(TracePattern::dropUnusedCachedTraces(), 0u);
+    core0.reset();
+    core1.reset();
+    EXPECT_GE(TracePattern::dropUnusedCachedTraces(), 1u);
+}
+
+TEST_F(TraceIoTest, PrivateLoadDoesNotShare)
+{
+    std::vector<TraceRecord> records(1);
+    records[0].addr = 0x1000;
+    ASSERT_TRUE(writeTrace(path_, records));
+    auto a = TracePattern::fromFile(path_);
+    auto b = TracePattern::fromFile(path_);
+    EXPECT_NE(a->buffer().get(), b->buffer().get());
+}
+
 } // namespace
 } // namespace banshee
